@@ -1,0 +1,372 @@
+// Package repro's root benchmarks regenerate each table and figure of
+// "Benchmarking Learned Indexes" as testing.B series: every
+// sub-benchmark corresponds to one point (structure x configuration x
+// dataset) of the corresponding plot. The cmd/sosd CLI runs the same
+// experiments with full configuration sweeps and formatted output.
+//
+// Benchmarks use laptop-scale datasets (DESIGN.md substitution 2);
+// shapes, not absolute nanoseconds, are the reproduction target.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/perfsim"
+	"repro/internal/search"
+)
+
+// benchN is the dataset scale for the root benchmarks; the CLI scales
+// further via -n.
+const benchN = 100_000
+const benchLookups = 10_000
+
+var envCache = map[dataset.Name]*bench.Env{}
+
+func benchEnv(b *testing.B, name dataset.Name) *bench.Env {
+	b.Helper()
+	if e, ok := envCache[name]; ok {
+		return e
+	}
+	e, err := bench.NewEnv(name, benchN, benchLookups, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	envCache[name] = e
+	return e
+}
+
+// pick thins a sweep to at most k configurations (keeping extremes).
+func pick(sweep []bench.NamedBuilder, k int) []bench.NamedBuilder {
+	if len(sweep) <= k {
+		return sweep
+	}
+	out := make([]bench.NamedBuilder, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, sweep[i*(len(sweep)-1)/(k-1)])
+	}
+	return out
+}
+
+func lookupLoop(b *testing.B, e *bench.Env, idx core.Index, fn search.Fn) {
+	b.Helper()
+	b.ReportMetric(bench.MB(idx.SizeBytes()), "MB")
+	var sum uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := e.Lookups[i%len(e.Lookups)]
+		bd := idx.Lookup(x)
+		pos := fn(e.Keys, x, bd)
+		if pos < len(e.Payloads) {
+			sum += e.Payloads[pos]
+		}
+	}
+	_ = sum
+}
+
+// BenchmarkFig6_DatasetCDFs measures dataset generation (the input to
+// Figure 6's CDF plots).
+func BenchmarkFig6_DatasetCDFs(b *testing.B) {
+	for _, name := range dataset.All() {
+		b.Run(string(name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				keys := dataset.MustGenerate(name, 20_000, uint64(i+1))
+				xs, _ := dataset.CDF(keys, 32)
+				if len(xs) == 0 {
+					b.Fatal("empty CDF")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7_Pareto is Figure 7: warm lookups per structure and
+// configuration across all four datasets.
+func BenchmarkFig7_Pareto(b *testing.B) {
+	for _, name := range dataset.All() {
+		e := benchEnv(b, name)
+		for _, family := range bench.ParetoFamilies {
+			for _, nb := range pick(bench.Sweep(family, e.Keys), 3) {
+				idx, err := nb.Builder.Build(e.Keys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Run(fmt.Sprintf("%s/%s/%s", name, family, nb.Label), func(b *testing.B) {
+					lookupLoop(b, e, idx, search.BinarySearch)
+				})
+			}
+		}
+		b.Run(fmt.Sprintf("%s/BS", name), func(b *testing.B) {
+			idx, _ := bench.Sweep("BS", e.Keys)[0].Builder.Build(e.Keys)
+			lookupLoop(b, e, idx, search.BinarySearch)
+		})
+	}
+}
+
+// BenchmarkFig8_StringStructures is Figure 8: FST and Wormhole against
+// RMI and BTree on amzn and face.
+func BenchmarkFig8_StringStructures(b *testing.B) {
+	for _, name := range []dataset.Name{dataset.Amzn, dataset.Face} {
+		e := benchEnv(b, name)
+		for _, family := range bench.StringFamilies {
+			for _, nb := range pick(bench.Sweep(family, e.Keys), 2) {
+				idx, err := nb.Builder.Build(e.Keys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Run(fmt.Sprintf("%s/%s/%s", name, family, nb.Label), func(b *testing.B) {
+					lookupLoop(b, e, idx, search.BinarySearch)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable2_FastestVariants is Table 2: the fastest variant of
+// each structure plus the hash tables on amzn.
+func BenchmarkTable2_FastestVariants(b *testing.B) {
+	e := benchEnv(b, dataset.Amzn)
+	for _, family := range bench.Table2Families {
+		nb, idx, _ := bench.BestVariant(e, family, func(e *bench.Env, idx core.Index) float64 {
+			return bench.MeasureWarm(e, idx, search.BinarySearch).NsPerLookup
+		})
+		if idx == nil {
+			continue
+		}
+		b.Run(fmt.Sprintf("%s/%s", family, nb.Label), func(b *testing.B) {
+			lookupLoop(b, e, idx, search.BinarySearch)
+		})
+	}
+}
+
+// BenchmarkFig9_DatasetSizes is Figure 9: lookup latency as the
+// dataset grows 1x..4x.
+func BenchmarkFig9_DatasetSizes(b *testing.B) {
+	for mult := 1; mult <= 4; mult++ {
+		e, err := bench.NewEnv(dataset.Amzn, benchN*mult, benchLookups, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, family := range []string{"RMI", "PGM", "RS", "BTree"} {
+			nb := pick(bench.Sweep(family, e.Keys), 3)[1]
+			idx, err := nb.Builder.Build(e.Keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%dx/%s/%s", mult, family, nb.Label), func(b *testing.B) {
+				lookupLoop(b, e, idx, search.BinarySearch)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10_KeySize is Figure 10: 64-bit vs rank-preserved 32-bit
+// keys on amzn.
+func BenchmarkFig10_KeySize(b *testing.B) {
+	e64 := benchEnv(b, dataset.Amzn)
+	k32 := dataset.To32(e64.Keys)
+	widened := make([]core.Key, len(k32))
+	for i, k := range k32 {
+		widened[i] = core.Key(k)
+	}
+	e32 := &bench.Env{Dataset: "amzn32", Keys: widened, Payloads: e64.Payloads,
+		Lookups: dataset.Lookups(widened, benchLookups, 42)}
+	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
+		for _, bits := range []string{"64", "32"} {
+			e := e64
+			if bits == "32" {
+				e = e32
+			}
+			nb := pick(bench.Sweep(family, e.Keys), 3)[1]
+			idx, err := nb.Builder.Build(e.Keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%sbit/%s", family, bits, nb.Label), func(b *testing.B) {
+				lookupLoop(b, e, idx, search.BinarySearch)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11_SearchFunctions is Figure 11: binary vs linear vs
+// interpolation last-mile search on amzn and osm.
+func BenchmarkFig11_SearchFunctions(b *testing.B) {
+	for _, name := range []dataset.Name{dataset.Amzn, dataset.OSM} {
+		e := benchEnv(b, name)
+		for _, family := range []string{"RMI", "PGM", "RS"} {
+			nb := pick(bench.Sweep(family, e.Keys), 3)[1]
+			idx, err := nb.Builder.Build(e.Keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, kind := range []search.Kind{search.Binary, search.Linear, search.Interpolation} {
+				b.Run(fmt.Sprintf("%s/%s/%s", name, family, kind), func(b *testing.B) {
+					lookupLoop(b, e, idx, search.ByKind(kind))
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig12_Metrics is Figure 12: simulated performance counters
+// per structure (reported as extra metrics alongside ns/op).
+func BenchmarkFig12_Metrics(b *testing.B) {
+	for _, name := range []dataset.Name{dataset.Amzn, dataset.OSM} {
+		rows, err := bench.CollectCounters(
+			bench.Options{N: 50_000, Lookups: 5_000, Seed: 42}, name,
+			[]string{"RMI", "PGM", "RS", "BTree", "ART"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := benchEnv(b, name)
+		for _, r := range rows[:min(len(rows), 10)] {
+			r := r
+			b.Run(fmt.Sprintf("%s/%s/%s", name, r.Family, r.Label), func(b *testing.B) {
+				b.ReportMetric(r.CacheMisses, "cmiss/op")
+				b.ReportMetric(r.BranchMisses, "brmiss/op")
+				b.ReportMetric(r.Instructions, "instr/op")
+				b.ReportMetric(r.Log2Err, "log2err")
+				for i := 0; i < b.N; i++ {
+					_ = e.Keys[i%len(e.Keys)]
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig14_ColdCache is Figure 14: warm lookups as ns/op, with
+// the cold-cache latency (cache thrashed between lookups, measured
+// once outside the timed loop) reported as a companion metric.
+// Thrashing inside a time-targeted loop would multiply wall time by
+// the eviction cost, so the cold number comes from a fixed-size run.
+func BenchmarkFig14_ColdCache(b *testing.B) {
+	e := benchEnv(b, dataset.Amzn)
+	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
+		nb := pick(bench.Sweep(family, e.Keys), 3)[1]
+		idx, err := nb.Builder.Build(e.Keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cold := bench.MeasureCold(e, idx, search.BinarySearch, 200)
+		b.Run(fmt.Sprintf("%s/%s", family, nb.Label), func(b *testing.B) {
+			b.ReportMetric(cold.NsPerLookup, "cold-ns/op")
+			lookupLoop(b, e, idx, search.BinarySearch)
+		})
+	}
+}
+
+// BenchmarkFig15_Fence is Figure 15: serialized (data-dependent) vs
+// pipelined lookup loops.
+func BenchmarkFig15_Fence(b *testing.B) {
+	e := benchEnv(b, dataset.Amzn)
+	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
+		nb := pick(bench.Sweep(family, e.Keys), 3)[1]
+		idx, err := nb.Builder.Build(e.Keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s/nofence/%s", family, nb.Label), func(b *testing.B) {
+			lookupLoop(b, e, idx, search.BinarySearch)
+		})
+		b.Run(fmt.Sprintf("%s/fence/%s", family, nb.Label), func(b *testing.B) {
+			var sum uint64
+			i := 0
+			n := len(e.Lookups)
+			b.ResetTimer()
+			for op := 0; op < b.N; op++ {
+				x := e.Lookups[i]
+				bd := idx.Lookup(x)
+				pos := search.BinarySearch(e.Keys, x, bd)
+				sum += e.Payloads[pos%len(e.Payloads)]
+				i = (i + 1 + int(sum&1)) % n
+			}
+			_ = sum
+		})
+	}
+}
+
+// BenchmarkFig16a_Threads is Figure 16a: parallel lookup throughput.
+func BenchmarkFig16a_Threads(b *testing.B) {
+	e := benchEnv(b, dataset.Amzn)
+	for _, family := range []string{"RMI", "PGM", "RS", "RBS", "BTree", "RobinHash"} {
+		sweep := bench.Sweep(family, e.Keys)
+		nb := sweep[len(sweep)/2]
+		idx, err := nb.Builder.Build(e.Keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(family, func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				var sum uint64
+				i := 0
+				for pb.Next() {
+					x := e.Lookups[i%len(e.Lookups)]
+					bd := idx.Lookup(x)
+					pos := search.BinarySearch(e.Keys, x, bd)
+					sum += e.Payloads[pos%len(e.Payloads)]
+					i++
+				}
+				_ = sum
+			})
+		})
+	}
+}
+
+// BenchmarkFig16c_CacheMissRate reports the simulated cache misses per
+// lookup used in Figure 16c.
+func BenchmarkFig16c_CacheMissRate(b *testing.B) {
+	rows, err := bench.CollectCountersMid(
+		bench.Options{N: 50_000, Lookups: 5_000, Seed: 42},
+		dataset.Amzn, bench.Fig16Families)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		r := r
+		b.Run(r.Family, func(b *testing.B) {
+			b.ReportMetric(r.CacheMisses, "cmiss/op")
+			b.ReportMetric(r.CacheMisses/(r.NsPerLookup*1e-9)/1e6, "Mmiss/op/s")
+			for i := 0; i < b.N; i++ {
+			}
+		})
+	}
+}
+
+// BenchmarkFig17_BuildTimes is Figure 17: index construction time.
+func BenchmarkFig17_BuildTimes(b *testing.B) {
+	e := benchEnv(b, dataset.Amzn)
+	families := []string{"PGM", "RS", "RMI", "RBS", "ART", "BTree", "IBTree", "FAST", "FST", "Wormhole", "RobinHash"}
+	for _, family := range families {
+		sweep := bench.Sweep(family, e.Keys)
+		nb := sweep[len(sweep)-1] // largest (fastest-lookup) variant
+		b.Run(fmt.Sprintf("%s/%s", family, nb.Label), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := nb.Builder.Build(e.Keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPerfsimOverhead quantifies the simulator itself (not a
+// paper figure; a sanity number for the methodology).
+func BenchmarkPerfsimOverhead(b *testing.B) {
+	m := perfsim.New(perfsim.Config{})
+	r := m.Alloc(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(r, (i*64)%(1<<20), 8)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+// Command sosd runs the benchmark experiments of "Benchmarking Learned
+// Indexes" (Marcus et al., VLDB 2020). Each experiment regenerates one
+// table or figure of the paper's evaluation; see DESIGN.md for the
+// per-experiment index.
+//
+// Usage:
+//
+//	sosd [-n keys] [-lookups m] [-seed s] <experiment> [...]
+//
+// Experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13 fig14 fig15 fig16a fig16b fig16c fig17 regress all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(io.Writer, bench.Options) error
+}{
+	{"table1", "capability matrix", func(w io.Writer, _ bench.Options) error { bench.Table1(w); return nil }},
+	{"fig6", "dataset CDFs", bench.Fig6},
+	{"fig7", "Pareto size/performance sweep, 4 datasets", bench.Fig7},
+	{"fig8", "string structures (FST, Wormhole) on integers", bench.Fig8},
+	{"table2", "fastest variants vs hash tables", bench.Table2},
+	{"fig9", "dataset size scaling 1x..4x", bench.Fig9},
+	{"fig10", "32-bit vs 64-bit keys", bench.Fig10},
+	{"fig11", "last-mile search functions", bench.Fig11},
+	{"fig12", "lookup time vs explanatory metrics", bench.Fig12},
+	{"regress", "Section 4.3 OLS analysis", bench.Regress},
+	{"fig13", "size vs log2 error (compression view)", bench.Fig13},
+	{"fig14", "warm vs cold cache", bench.Fig14},
+	{"fig15", "memory-fence (serialized) lookups", bench.Fig15},
+	{"fig16a", "threads vs throughput", bench.Fig16a},
+	{"fig16b", "size vs throughput at max threads", bench.Fig16b},
+	{"fig16c", "cache misses per lookup per second", bench.Fig16c},
+	{"fig17", "build times at 1x..4x scale", bench.Fig17},
+}
+
+func main() {
+	n := flag.Int("n", 200_000, "dataset size in keys (the paper uses 200M)")
+	lookups := flag.Int("lookups", 20_000, "number of lookups per measurement")
+	seed := flag.Uint64("seed", 42, "dataset/workload seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		listExperiments(os.Stdout)
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	o := bench.Options{N: *n, Lookups: *lookups, Seed: *seed}
+
+	for _, name := range args {
+		if name == "all" {
+			for _, exp := range experiments {
+				runOne(exp.name, exp.run, o)
+			}
+			continue
+		}
+		found := false
+		for _, exp := range experiments {
+			if exp.name == name {
+				runOne(exp.name, exp.run, o)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "sosd: unknown experiment %q\n", name)
+			listExperiments(os.Stderr)
+			os.Exit(2)
+		}
+	}
+}
+
+func runOne(name string, run func(io.Writer, bench.Options) error, o bench.Options) {
+	start := time.Now()
+	if err := run(os.Stdout, o); err != nil {
+		fmt.Fprintf(os.Stderr, "sosd: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: sosd [-n keys] [-lookups m] [-seed s] <experiment>...\n\n")
+	listExperiments(os.Stderr)
+}
+
+func listExperiments(w io.Writer) {
+	fmt.Fprintln(w, "experiments:")
+	for _, exp := range experiments {
+		fmt.Fprintf(w, "  %-8s %s\n", exp.name, exp.desc)
+	}
+	fmt.Fprintln(w, "  all      run everything")
+}

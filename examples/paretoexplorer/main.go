@@ -1,0 +1,63 @@
+// Pareto explorer: sweep every index family over a chosen dataset and
+// print the Pareto-optimal (size, latency) frontier — the analysis
+// behind the paper's Figure 7, exposed as a library workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/search"
+)
+
+type point struct {
+	family, label string
+	sizeMB        float64
+	ns            float64
+}
+
+func main() {
+	name := flag.String("dataset", "amzn", "dataset: amzn, face, osm, wiki")
+	n := flag.Int("n", 200_000, "dataset size")
+	flag.Parse()
+
+	env, err := bench.NewEnv(dataset.Name(*name), *n, *n/10, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var pts []point
+	for _, family := range bench.ParetoFamilies {
+		for _, nb := range bench.Sweep(family, env.Keys) {
+			idx, err := nb.Builder.Build(env.Keys)
+			if err != nil {
+				continue
+			}
+			m := bench.MeasureWarm(env, idx, search.BinarySearch)
+			pts = append(pts, point{family, nb.Label, bench.MB(idx.SizeBytes()), m.NsPerLookup})
+		}
+	}
+
+	// Pareto filter: keep points with no strictly smaller AND faster
+	// alternative.
+	sort.Slice(pts, func(i, j int) bool { return pts[i].sizeMB < pts[j].sizeMB })
+	var frontier []point
+	bestNs := -1.0
+	for _, p := range pts {
+		if bestNs < 0 || p.ns < bestNs {
+			frontier = append(frontier, p)
+			bestNs = p.ns
+		}
+	}
+
+	fmt.Printf("Pareto frontier for %s (%d keys): %d of %d configurations\n",
+		*name, *n, len(frontier), len(pts))
+	fmt.Printf("%-8s %-26s %12s %12s\n", "index", "config", "size(MB)", "ns/lookup")
+	for _, p := range frontier {
+		fmt.Printf("%-8s %-26s %12.4f %12.1f\n", p.family, p.label, p.sizeMB, p.ns)
+	}
+}

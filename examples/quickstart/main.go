@@ -1,0 +1,53 @@
+// Quickstart: build a learned index over a sorted array, look up keys,
+// and verify the search-bound contract. This is the benchmark's
+// minimal end-to-end path: dataset -> index -> bound -> last-mile
+// search -> payload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rmi"
+	"repro/internal/search"
+)
+
+func main() {
+	// 1. Generate a dataset (a synthetic stand-in for the paper's
+	// Amazon book-popularity keys) and per-key payloads.
+	const n = 1_000_000
+	keys := dataset.MustGenerate(dataset.Amzn, n, 42)
+	payloads := dataset.Payloads(n, 42)
+
+	// 2. Train a two-stage RMI. The auto-tuner picks the model types
+	// and branching factor for this dataset under a 1 MiB budget.
+	cfg := rmi.Tune(keys, 1<<20)
+	idx, err := rmi.New(keys, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %v: %.2f KiB, avg log2 error %.2f\n",
+		cfg, float64(idx.SizeBytes())/1024, idx.AvgLog2Error())
+
+	// 3. Look up keys: the index returns a search bound guaranteed to
+	// contain the key's lower bound; binary search finishes the job.
+	lookups := dataset.Lookups(keys, 5, 7)
+	for _, x := range lookups {
+		b := idx.Lookup(x)
+		pos := search.BinarySearch(keys, x, b)
+		fmt.Printf("key %20d -> bound %-18v -> position %8d payload %#x\n",
+			x, b, pos, payloads[pos])
+		if !core.ValidBound(keys, x, b) {
+			log.Fatalf("invalid bound for %d", x)
+		}
+	}
+
+	// 4. Absent keys work identically: the bound brackets the smallest
+	// key greater than or equal to the lookup key.
+	absent := keys[n/2] + 1
+	b := idx.Lookup(absent)
+	pos := search.BinarySearch(keys, absent, b)
+	fmt.Printf("absent key %d -> lower bound at position %d (key %d)\n", absent, pos, keys[pos])
+}

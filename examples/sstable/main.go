@@ -1,0 +1,94 @@
+// SSTable scenario: the paper's motivating workload for read-only
+// learned indexes (Section 1 cites LSM-trees whose immutable runs are
+// "moving towards immutable read-only data structures").
+//
+// This example models one immutable sorted run of key/value pairs and
+// serves point reads and short range scans through three interchangeable
+// indexes — a learned RMI, a PGM index, and a B+tree — comparing their
+// footprints on the same data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/pgm"
+	"repro/internal/rmi"
+	"repro/internal/search"
+)
+
+// sstable is an immutable sorted run with a pluggable index.
+type sstable struct {
+	keys     []core.Key
+	values   []uint64
+	index    core.Index
+	idxBuild string
+}
+
+// get returns the value for key, or false when absent.
+func (s *sstable) get(key core.Key) (uint64, bool) {
+	b := s.index.Lookup(key)
+	pos := search.BinarySearch(s.keys, key, b)
+	if pos < len(s.keys) && s.keys[pos] == key {
+		return s.values[pos], true
+	}
+	return 0, false
+}
+
+// scan sums the values of all keys in [lo, hi).
+func (s *sstable) scan(lo, hi core.Key) (sum uint64, count int) {
+	b := s.index.Lookup(lo)
+	pos := search.BinarySearch(s.keys, lo, b)
+	for pos < len(s.keys) && s.keys[pos] < hi {
+		sum += s.values[pos]
+		count++
+		pos++
+	}
+	return sum, count
+}
+
+func main() {
+	const n = 500_000
+	// Timestamps, as in a time-series ingest: the wiki generator.
+	keys := dataset.MustGenerate(dataset.Wiki, n, 3)
+	values := dataset.Payloads(n, 3)
+
+	builders := []struct {
+		name  string
+		build func() (core.Index, error)
+	}{
+		{"RMI", func() (core.Index, error) {
+			return rmi.New(keys, rmi.Tune(keys, 256<<10))
+		}},
+		{"PGM", func() (core.Index, error) { return pgm.New(keys, 64) }},
+		{"BTree", func() (core.Index, error) { return btree.Builder{Stride: 16}.Build(keys) }},
+	}
+
+	for _, b := range builders {
+		idx, err := b.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := &sstable{keys: keys, values: values, index: idx, idxBuild: b.name}
+
+		// Point reads of present and absent keys.
+		hit, ok := run.get(keys[n/3])
+		if !ok {
+			log.Fatalf("%s: present key missing", b.name)
+		}
+		if _, ok := run.get(keys[n/3] + 1); ok {
+			log.Fatalf("%s: absent key found", b.name)
+		}
+
+		// A short range scan, e.g. "all edits in a 10-minute window".
+		lo := keys[n/2]
+		hi := lo + 600_000 // 600s at millisecond resolution
+		sum, count := run.scan(lo, hi)
+
+		fmt.Printf("%-6s index %8.1f KiB: point read=%#x, scan[%d keys] sum=%#x\n",
+			b.name, float64(idx.SizeBytes())/1024, hit, count, sum)
+	}
+}

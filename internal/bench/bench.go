@@ -1,0 +1,257 @@
+// Package bench is the benchmark harness: it builds index structures
+// over the benchmark datasets, measures lookups under the paper's
+// regimes (warm tight loop, serialized "fenced" loop, cold cache,
+// multithreaded), and regenerates every table and figure of the
+// paper's evaluation (Section 4). See DESIGN.md for the experiment
+// index.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/search"
+)
+
+// Env bundles a dataset with its lookup workload and payloads.
+type Env struct {
+	Dataset  dataset.Name
+	Keys     []core.Key
+	Payloads []uint64
+	Lookups  []core.Key
+}
+
+// NewEnv generates a benchmark environment. n is the dataset size and
+// m the number of lookups; the paper uses 200M keys and 10M lookups,
+// scaled down per DESIGN.md substitution 2.
+func NewEnv(name dataset.Name, n, m int, seed uint64) (*Env, error) {
+	keys, err := dataset.Generate(name, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Dataset:  name,
+		Keys:     keys,
+		Payloads: dataset.Payloads(n, seed),
+		Lookups:  dataset.Lookups(keys, m, seed),
+	}, nil
+}
+
+// Checksum returns the expected payload sum over the environment's
+// lookups; every measurement loop must reproduce it (the paper sums
+// payloads "to ensure the results are accurate").
+func (e *Env) Checksum() uint64 {
+	var sum uint64
+	for _, x := range e.Lookups {
+		sum += e.Payloads[core.LowerBound(e.Keys, x)]
+	}
+	return sum
+}
+
+// Measurement is one timed lookup run.
+type Measurement struct {
+	NsPerLookup float64
+	Checksum    uint64
+}
+
+// MeasureWarm times the paper's standard regime: a tight loop of
+// lookups with everything hot in cache, using fn for the last mile.
+func MeasureWarm(e *Env, idx core.Index, fn search.Fn) Measurement {
+	// One warm-up pass.
+	runLookups(e, idx, fn)
+	start := time.Now()
+	sum := runLookups(e, idx, fn)
+	elapsed := time.Since(start)
+	return Measurement{
+		NsPerLookup: float64(elapsed.Nanoseconds()) / float64(len(e.Lookups)),
+		Checksum:    sum,
+	}
+}
+
+func runLookups(e *Env, idx core.Index, fn search.Fn) uint64 {
+	var sum uint64
+	for _, x := range e.Lookups {
+		b := idx.Lookup(x)
+		pos := fn(e.Keys, x, b)
+		if pos < len(e.Payloads) {
+			sum += e.Payloads[pos]
+		}
+	}
+	return sum
+}
+
+// MeasureFenced times the serialized regime of Figure 15: each lookup
+// key is made data-dependent on the previous lookup's payload, so the
+// CPU cannot overlap consecutive lookups. This replaces the paper's
+// mfence, which Go cannot emit (DESIGN.md substitution 4). The
+// dependency steers which lookup runs next without changing the key
+// distribution.
+func MeasureFenced(e *Env, idx core.Index, fn search.Fn) Measurement {
+	run := func() (uint64, int) {
+		var sum uint64
+		n := len(e.Lookups)
+		ops := 0
+		i := 0
+		for ops < n {
+			x := e.Lookups[i]
+			b := idx.Lookup(x)
+			pos := fn(e.Keys, x, b)
+			if pos < len(e.Payloads) {
+				sum += e.Payloads[pos]
+			}
+			// The next index depends on the payload just read: a true
+			// data dependency chain.
+			i = (i + 1 + int(sum&1)) % n
+			ops++
+		}
+		return sum, ops
+	}
+	run() // warm up
+	start := time.Now()
+	sum, ops := run()
+	elapsed := time.Since(start)
+	return Measurement{
+		NsPerLookup: float64(elapsed.Nanoseconds()) / float64(ops),
+		Checksum:    sum,
+	}
+}
+
+// thrash is the cold-cache eviction buffer (must exceed the LLC).
+var thrash []byte
+var thrashOnce sync.Once
+
+// MeasureCold times the cold-cache regime of Figure 14: the cache is
+// evicted between lookups by streaming over a buffer larger than the
+// LLC. coldOps lookups are measured (full thrashing per lookup makes
+// the full workload impractical, as in the paper's flush).
+func MeasureCold(e *Env, idx core.Index, fn search.Fn, coldOps int) Measurement {
+	thrashOnce.Do(func() { thrash = make([]byte, 64<<20) })
+	if coldOps > len(e.Lookups) {
+		coldOps = len(e.Lookups)
+	}
+	var sum uint64
+	var total time.Duration
+	var sink byte
+	for i := 0; i < coldOps; i++ {
+		for j := 0; j < len(thrash); j += 64 {
+			sink += thrash[j]
+		}
+		x := e.Lookups[i]
+		start := time.Now()
+		b := idx.Lookup(x)
+		pos := fn(e.Keys, x, b)
+		total += time.Since(start)
+		if pos < len(e.Payloads) {
+			sum += e.Payloads[pos]
+		}
+	}
+	_ = sink
+	return Measurement{
+		NsPerLookup: float64(total.Nanoseconds()) / float64(coldOps),
+		Checksum:    sum,
+	}
+}
+
+// MeasureThroughput runs the multithreaded regime of Figure 16:
+// threads goroutines each execute the full lookup workload; the result
+// is aggregate lookups per second. fenced selects the serialized
+// per-thread loop.
+func MeasureThroughput(e *Env, idx core.Index, fn search.Fn, threads int, fenced bool) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	runLookups(e, idx, fn) // warm caches and fault pages before timing
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			if fenced {
+				MeasureFencedOnce(e, idx, fn, tid)
+				return
+			}
+			var sum uint64
+			n := len(e.Lookups)
+			for i := 0; i < n; i++ {
+				x := e.Lookups[(i+tid*7919)%n]
+				b := idx.Lookup(x)
+				pos := fn(e.Keys, x, b)
+				if pos < len(e.Payloads) {
+					sum += e.Payloads[pos]
+				}
+			}
+			sink(sum)
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(threads*len(e.Lookups)) / elapsed
+}
+
+// MeasureFencedOnce is one serialized pass, offset per thread.
+func MeasureFencedOnce(e *Env, idx core.Index, fn search.Fn, tid int) {
+	var sum uint64
+	n := len(e.Lookups)
+	i := (tid * 7919) % n
+	for ops := 0; ops < n; ops++ {
+		x := e.Lookups[i]
+		b := idx.Lookup(x)
+		pos := fn(e.Keys, x, b)
+		if pos < len(e.Payloads) {
+			sum += e.Payloads[pos]
+		}
+		i = (i + 1 + int(sum&1)) % n
+	}
+	sink(sum)
+}
+
+var sinkVal uint64
+var sinkMu sync.Mutex
+
+// sink defeats dead-code elimination for concurrent sums.
+func sink(v uint64) {
+	sinkMu.Lock()
+	sinkVal += v
+	sinkMu.Unlock()
+}
+
+// MeasureBuild times index construction.
+func MeasureBuild(b core.Builder, keys []core.Key) (core.Index, time.Duration, error) {
+	start := time.Now()
+	idx, err := b.Build(keys)
+	return idx, time.Since(start), err
+}
+
+// AvgLog2Width measures the empirical mean log2 search-bound width of
+// an index over the environment's lookups — the paper's log2-error
+// metric, computed uniformly for every structure.
+func AvgLog2Width(e *Env, idx core.Index) float64 {
+	total := 0.0
+	for _, x := range e.Lookups {
+		total += float64(search.BinarySteps(idx.Lookup(x).Width()))
+	}
+	return total / float64(len(e.Lookups))
+}
+
+// MaxThreads returns the thread counts swept in Figure 16a.
+func MaxThreads() []int {
+	max := runtime.NumCPU()
+	var out []int
+	for t := 1; t <= max; t *= 2 {
+		out = append(out, t)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// MB renders a byte count as megabytes.
+func MB(bytes int) float64 { return float64(bytes) / (1 << 20) }
+
+var _ = fmt.Sprintf // fmt is used by the experiment printers in this package

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/search"
+)
+
+// tiny keeps harness tests fast; the real experiments scale via
+// Options and the CLI.
+var tiny = Options{N: 4000, Lookups: 400, Seed: 7}
+
+func TestEnvChecksum(t *testing.T) {
+	e, err := NewEnv(dataset.Amzn, 2000, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Checksum()
+	idx := mustBS(e)
+	m := MeasureWarm(e, idx, search.BinarySearch)
+	if m.Checksum != want {
+		t.Fatalf("warm checksum %d != %d", m.Checksum, want)
+	}
+	cold := MeasureCold(e, idx, search.BinarySearch, 50)
+	_ = cold // cold measures a prefix of the workload; only validity of run matters
+	fenced := MeasureFenced(e, idx, search.BinarySearch)
+	if fenced.NsPerLookup <= 0 {
+		t.Fatal("fenced measurement empty")
+	}
+}
+
+func TestMeasureWarmAllFamilies(t *testing.T) {
+	e, err := NewEnv(dataset.Wiki, 3000, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Checksum()
+	families := append(append([]string{}, ParetoFamilies...), "FST", "Wormhole", "RobinHash", "CuckooMap", "BS")
+	for _, family := range families {
+		sweep := Sweep(family, e.Keys)
+		if len(sweep) == 0 {
+			t.Fatalf("no sweep for %s", family)
+		}
+		nb := sweep[len(sweep)/2]
+		idx, err := nb.Builder.Build(e.Keys)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		m := MeasureWarm(e, idx, search.BinarySearch)
+		if m.Checksum != want {
+			t.Fatalf("%s: checksum %d != %d (wrong lookup results)", family, m.Checksum, want)
+		}
+		if m.NsPerLookup <= 0 {
+			t.Fatalf("%s: non-positive latency", family)
+		}
+	}
+}
+
+func TestThroughputScalesOrRuns(t *testing.T) {
+	e, err := NewEnv(dataset.Amzn, 5000, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := midVariant(e, "RMI")
+	if idx == nil {
+		t.Fatal("no RMI variant")
+	}
+	t1 := MeasureThroughput(e, idx, search.BinarySearch, 1, false)
+	tn := MeasureThroughput(e, idx, search.BinarySearch, 4, false)
+	if t1 <= 0 || tn <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+}
+
+func TestBestVariant(t *testing.T) {
+	e, err := NewEnv(dataset.Amzn, 3000, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scoring by size must pick the smallest configuration.
+	nb, idx, best := BestVariant(e, "PGM", func(e *Env, idx core.Index) float64 {
+		return float64(idx.SizeBytes())
+	})
+	if idx == nil || nb.Label == "" {
+		t.Fatal("no variant selected")
+	}
+	for _, other := range Sweep("PGM", e.Keys) {
+		oi, err := other.Builder.Build(e.Keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(oi.SizeBytes()) < best {
+			t.Fatalf("variant %s (%d B) smaller than selected best (%f)",
+				other.Label, oi.SizeBytes(), best)
+		}
+	}
+}
+
+func TestExperimentSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	if !strings.Contains(buf.String(), "Wormhole") {
+		t.Error("table 1 incomplete")
+	}
+	if err := Fig6(&buf, tiny); err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	if err := Table2(&buf, tiny); err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	if err := Fig13(&buf, tiny); err != nil {
+		t.Fatalf("fig13: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cdf=", "fastest variant", "log2err"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in experiment output", want)
+		}
+	}
+}
+
+func TestCollectCounters(t *testing.T) {
+	rows, err := CollectCounters(Options{N: 3000, Lookups: 300, Seed: 1}, dataset.Amzn, []string{"RMI", "BTree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("only %d counter rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.NsPerLookup <= 0 || r.Instructions <= 0 {
+			t.Fatalf("empty counters: %+v", r)
+		}
+	}
+}
+
+func TestSweepSpansSizes(t *testing.T) {
+	e, err := NewEnv(dataset.OSM, 20000, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range ParetoFamilies {
+		sweep := Sweep(family, e.Keys)
+		first, err := sweep[0].Builder.Build(e.Keys)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		last, err := sweep[len(sweep)-1].Builder.Build(e.Keys)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if first.SizeBytes() >= last.SizeBytes() {
+			t.Errorf("%s: sweep not ordered small->large (%d >= %d)",
+				family, first.SizeBytes(), last.SizeBytes())
+		}
+	}
+}
+
+func TestMaxThreads(t *testing.T) {
+	ts := MaxThreads()
+	if len(ts) == 0 || ts[0] != 1 {
+		t.Fatalf("MaxThreads = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("not increasing: %v", ts)
+		}
+	}
+}

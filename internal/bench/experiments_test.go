@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/search"
+)
+
+// Every experiment must run end-to-end at tiny scale and emit its
+// table header plus at least a handful of data rows. These are the
+// integration tests for the full figure pipeline; numeric shapes are
+// asserted in EXPERIMENTS.md from full-scale runs.
+
+func runExperiment(t *testing.T, name string, fn func() error, buf *bytes.Buffer, wantMarkers ...string) {
+	t.Helper()
+	buf.Reset()
+	if err := fn(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := buf.String()
+	for _, marker := range wantMarkers {
+		if !strings.Contains(out, marker) {
+			t.Errorf("%s output missing %q:\n%s", name, marker, clip(out))
+		}
+	}
+	if strings.Count(out, "\n") < 4 {
+		t.Errorf("%s produced almost no output:\n%s", name, clip(out))
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 600 {
+		return s[:600] + "..."
+	}
+	return s
+}
+
+func TestFig7EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig7", func() error { return Fig7(&buf, tiny) }, &buf,
+		"Figure 7", "amzn", "osm", "wiki", "face", "RMI", "FAST", "baseline")
+}
+
+func TestFig8EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig8", func() error { return Fig8(&buf, tiny) }, &buf,
+		"Figure 8", "FST", "Wormhole")
+}
+
+func TestFig9EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig9", func() error { return Fig9(&buf, tiny) }, &buf,
+		"Figure 9", "16000") // 4x of tiny.N
+}
+
+func TestFig10EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig10", func() error { return Fig10(&buf, tiny) }, &buf,
+		"Figure 10", "BTree32", "FAST32", "32", "64")
+}
+
+func TestFig11EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig11", func() error { return Fig11(&buf, tiny) }, &buf,
+		"Figure 11", "binary", "linear", "interpolation")
+}
+
+func TestFig12EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig12", func() error { return Fig12(&buf, tiny) }, &buf,
+		"Figure 12", "c-miss", "instr")
+}
+
+func TestFig14EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig14", func() error { return Fig14(&buf, tiny) }, &buf,
+		"Figure 14", "warm", "cold")
+}
+
+func TestFig15EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig15", func() error { return Fig15(&buf, tiny) }, &buf,
+		"Figure 15", "fence")
+}
+
+func TestFig16aEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig16a", func() error { return Fig16a(&buf, tiny) }, &buf,
+		"Figure 16a", "Mlookups/s")
+}
+
+func TestFig16bEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig16b", func() error { return Fig16b(&buf, tiny) }, &buf,
+		"Figure 16b", "RMI")
+}
+
+func TestFig16cEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig16c", func() error { return Fig16c(&buf, tiny) }, &buf,
+		"Figure 16c", "miss/op")
+}
+
+func TestFig17EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "fig17", func() error { return Fig17(&buf, tiny) }, &buf,
+		"Figure 17", "build(ms)", "Wormhole")
+}
+
+func TestFig14ColdSlowerThanWarm(t *testing.T) {
+	// The defining property of Figure 14 at any scale: evicting the
+	// cache between lookups cannot make lookups faster. Assert it on
+	// one structure with a safety margin for timer noise.
+	e, err := NewEnv("amzn", 20000, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := midVariant(e, "BTree")
+	warm := MeasureWarm(e, idx, search.BinarySearch)
+	cold := MeasureCold(e, idx, search.BinarySearch, 100)
+	if cold.NsPerLookup < warm.NsPerLookup {
+		t.Errorf("cold (%f) faster than warm (%f)", cold.NsPerLookup, warm.NsPerLookup)
+	}
+}

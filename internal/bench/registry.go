@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/fast"
+	"repro/internal/fst"
+	"repro/internal/hashidx"
+	"repro/internal/ibtree"
+	"repro/internal/pgm"
+	"repro/internal/rbs"
+	"repro/internal/rmi"
+	"repro/internal/rs"
+	"repro/internal/wormhole"
+)
+
+// NamedBuilder pairs a builder with its configuration label.
+type NamedBuilder struct {
+	Label   string
+	Builder core.Builder
+}
+
+// strides is the subset-stride sweep used for every tree structure
+// ("ten configurations ranging from minimum to maximum size").
+var strides = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// Sweep returns the configuration sweep for a structure family, small
+// index to large. Learned structures are tuned per dataset (keys),
+// mirroring the paper's author-tuned configurations.
+func Sweep(family string, keys []core.Key) []NamedBuilder {
+	switch family {
+	case "RMI":
+		cfgs := rmi.ParetoConfigs(keys, 10)
+		out := make([]NamedBuilder, 0, len(cfgs))
+		for _, c := range cfgs {
+			out = append(out, NamedBuilder{c.String(), rmi.Builder{Config: c}})
+		}
+		return out
+	case "PGM":
+		var out []NamedBuilder
+		for _, eps := range []int{4096, 1024, 512, 256, 128, 64, 32, 16, 8, 4} {
+			out = append(out, NamedBuilder{lbl("eps=%d", eps), pgm.Builder{Eps: eps}})
+		}
+		return out
+	case "RS":
+		var out []NamedBuilder
+		type rc struct{ err, bits int }
+		for _, c := range []rc{{4096, 4}, {1024, 6}, {512, 8}, {256, 10}, {128, 12},
+			{64, 14}, {32, 16}, {16, 18}, {8, 20}, {4, 22}} {
+			out = append(out, NamedBuilder{lbl("eps=%d,r=%d", c.err, c.bits),
+				rs.Builder{Config: rs.Config{SplineErr: c.err, RadixBits: c.bits}}})
+		}
+		return out
+	case "RBS":
+		var out []NamedBuilder
+		for _, bits := range []int{4, 6, 8, 10, 12, 14, 16, 18, 20, 22} {
+			out = append(out, NamedBuilder{lbl("r=%d", bits), rbs.Builder{RadixBits: bits}})
+		}
+		return out
+	case "BTree":
+		return strideSweep(func(s int) core.Builder { return btree.Builder{Stride: s} })
+	case "IBTree":
+		return strideSweep(func(s int) core.Builder { return ibtree.Builder{Stride: s} })
+	case "ART":
+		return strideSweep(func(s int) core.Builder { return art.Builder{Stride: s} })
+	case "FAST":
+		return strideSweep(func(s int) core.Builder { return fast.Builder{Stride: s} })
+	case "FST":
+		var out []NamedBuilder
+		for _, s := range []int{1, 4, 16, 64} {
+			out = append(out, NamedBuilder{lbl("stride=%d", s), fst.Builder{Stride: s}})
+		}
+		return out
+	case "Wormhole":
+		var out []NamedBuilder
+		for _, s := range []int{1, 4, 16, 64} {
+			out = append(out, NamedBuilder{lbl("stride=%d", s), wormhole.Builder{Stride: s}})
+		}
+		return out
+	case "BS":
+		return []NamedBuilder{{"", rbs.BinarySearchBuilder{}}}
+	case "RobinHash":
+		return []NamedBuilder{{"lf=0.25", hashidx.RobinHoodBuilder{}}}
+	case "CuckooMap":
+		return []NamedBuilder{{"lf=0.99", hashidx.CuckooBuilder{}}}
+	default:
+		return nil
+	}
+}
+
+func strideSweep(mk func(int) core.Builder) []NamedBuilder {
+	out := make([]NamedBuilder, 0, len(strides))
+	// Large stride = small index first, matching the sweep order of
+	// the learned structures.
+	for i := len(strides) - 1; i >= 0; i-- {
+		out = append(out, NamedBuilder{lbl("stride=%d", strides[i]), mk(strides[i])})
+	}
+	return out
+}
+
+func lbl(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// ParetoFamilies is the structure set of Figure 7.
+var ParetoFamilies = []string{"RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree", "FAST"}
+
+// StringFamilies is the structure set of Figure 8.
+var StringFamilies = []string{"FST", "Wormhole", "RMI", "BTree"}
+
+// Table2Families is the structure set of Table 2.
+var Table2Families = []string{"PGM", "RS", "RMI", "BTree", "IBTree", "FAST", "BS", "CuckooMap", "RobinHash"}
+
+// BestVariant builds every configuration of a family and returns the
+// one with the lowest warm lookup time (the paper's "fastest variant").
+func BestVariant(e *Env, family string, fn func(*Env, core.Index) float64) (NamedBuilder, core.Index, float64) {
+	var bestNB NamedBuilder
+	var bestIdx core.Index
+	best := -1.0
+	for _, nb := range Sweep(family, e.Keys) {
+		idx, err := nb.Builder.Build(e.Keys)
+		if err != nil {
+			continue
+		}
+		v := fn(e, idx)
+		if best < 0 || v < best {
+			best, bestIdx, bestNB = v, idx, nb
+		}
+	}
+	return bestNB, bestIdx, best
+}

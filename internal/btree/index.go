@@ -1,0 +1,102 @@
+package btree
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// Index adapts Tree to the benchmark's core.Index contract using the
+// paper's subset-insertion size knob: every Stride-th key of the data
+// is inserted, so bounds have width at most Stride.
+type Index struct {
+	tree   *Tree[core.Key]
+	n      int
+	stride int
+	name   string
+}
+
+// Builder builds B+tree indexes with a fixed stride.
+type Builder struct {
+	// Stride inserts every Stride-th key (1 = every key, maximum size
+	// and accuracy). Clamped to at least 1.
+	Stride int
+	// Interpolate selects in-node interpolation search (IBTree).
+	Interpolate bool
+}
+
+// Name implements core.Builder.
+func (b Builder) Name() string {
+	if b.Interpolate {
+		return "IBTree"
+	}
+	return "BTree"
+}
+
+// Build implements core.Builder.
+func (b Builder) Build(keys []core.Key) (core.Index, error) {
+	n := len(keys)
+	if n == 0 {
+		return nil, errors.New("btree: empty key set")
+	}
+	stride := b.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	subsetKeys := make([]core.Key, 0, n/stride+1)
+	subsetVals := make([]int32, 0, n/stride+1)
+	for i := 0; i < n; i += stride {
+		subsetKeys = append(subsetKeys, keys[i])
+		subsetVals = append(subsetVals, int32(i))
+	}
+	t, err := NewTree(subsetKeys, subsetVals, b.Interpolate)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: t, n: n, stride: stride, name: b.Name()}, nil
+}
+
+// Lookup implements core.Index.
+func (idx *Index) Lookup(key core.Key) core.Bound {
+	ceilPos, found, predPos, predOK := idx.tree.Ceiling(key)
+	lo := 0
+	if predOK {
+		lo = int(predPos) + 1
+	}
+	hi := idx.n
+	if found {
+		hi = int(ceilPos) + 1
+	}
+	if hi > idx.n {
+		hi = idx.n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return core.Bound{Lo: lo, Hi: hi}
+}
+
+// SizeBytes implements core.Index.
+func (idx *Index) SizeBytes() int { return idx.tree.SizeBytes() }
+
+// Name implements core.Index.
+func (idx *Index) Name() string { return idx.name }
+
+// Height exposes the underlying tree height (one cache miss per level
+// in the paper's cost discussion).
+func (idx *Index) Height() int { return idx.tree.Height() }
+
+// Stride returns the subset stride the index was built with.
+func (idx *Index) Stride() int { return idx.stride }
+
+// PathIDs exposes the node-id descent path for the performance-counter
+// simulation.
+func (idx *Index) PathIDs(key core.Key, dst []int32) []int32 {
+	return idx.tree.PathIDs(key, dst)
+}
+
+// NumNodes reports the underlying tree's node count.
+func (idx *Index) NumNodes() int { return idx.tree.NumNodes() }
+
+// NodeKeys reports the per-node key capacity (for size modelling).
+func (idx *Index) NodeKeys() int { return fanout }

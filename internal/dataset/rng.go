@@ -1,0 +1,57 @@
+package dataset
+
+import "math"
+
+// rng is a small deterministic PRNG (splitmix64 core) used by all
+// generators so that datasets and workloads are reproducible across
+// runs and Go versions, independent of math/rand's evolution.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64 random bits (splitmix64).
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform float in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uniform int in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// norm returns a standard normal variate via Box–Muller. It wastes the
+// second variate for simplicity; generators are not hot paths.
+func (r *rng) norm() float64 {
+	u1 := r.float64()
+	for u1 == 0 {
+		u1 = r.float64()
+	}
+	u2 := r.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// exp returns an exponential variate with mean 1.
+func (r *rng) exp() float64 {
+	u := r.float64()
+	for u == 0 {
+		u = r.float64()
+	}
+	return -math.Log(u)
+}
+
+// lognorm returns a log-normal variate with the given log-space mean
+// and standard deviation.
+func (r *rng) lognorm(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.norm())
+}

@@ -1,0 +1,382 @@
+// Package hashidx implements the two hash-table baselines of Table 2:
+// a RobinHood open-addressing table and a bucketized Cuckoo map.
+//
+// Hash tables answer point lookups only (they do not support lower
+// bound queries, as the paper discusses); their core.Index adapters
+// return an exact single-position bound for present keys and the full
+// bound for absent ones. The paper's SIMD bucket probes in the Cuckoo
+// map are replaced by scalar 4-slot scans (DESIGN.md substitution 5).
+package hashidx
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// hash1 is Fibonacci multiplicative hashing.
+func hash1(x uint64) uint64 {
+	return x * 0x9E3779B97F4A7C15
+}
+
+// hash2 is a second independent mix (splitmix64 finalizer).
+func hash2(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// RobinHood is an open-addressing hash table with Robin Hood
+// displacement: on collision, the entry farther from its home slot
+// wins, keeping probe-length variance low.
+type RobinHood struct {
+	keys  []uint64
+	vals  []int32
+	dist  []int8 // probe distance from home slot; -1 = empty
+	mask  uint64
+	count int
+}
+
+// maxProbe caps the stored displacement; tables sized from the load
+// factor below stay far under it.
+const maxProbe = 120
+
+// NewRobinHood builds a table sized for n entries at the given load
+// factor (the paper found 0.25 maximizes RobinHood lookup speed).
+func NewRobinHood(n int, loadFactor float64) (*RobinHood, error) {
+	if loadFactor <= 0 || loadFactor > 1 {
+		return nil, fmt.Errorf("hashidx: invalid load factor %f", loadFactor)
+	}
+	capacity := 16
+	for float64(capacity)*loadFactor < float64(n) {
+		capacity <<= 1
+	}
+	t := &RobinHood{
+		keys: make([]uint64, capacity),
+		vals: make([]int32, capacity),
+		dist: make([]int8, capacity),
+		mask: uint64(capacity - 1),
+	}
+	for i := range t.dist {
+		t.dist[i] = -1
+	}
+	return t, nil
+}
+
+// Insert adds key -> val. Existing keys are overwritten.
+func (t *RobinHood) Insert(key uint64, val int32) {
+	slot := hash1(key) & t.mask
+	d := int8(0)
+	for {
+		if t.dist[slot] < 0 {
+			t.keys[slot], t.vals[slot], t.dist[slot] = key, val, d
+			t.count++
+			return
+		}
+		if t.keys[slot] == key {
+			t.vals[slot] = val
+			return
+		}
+		if t.dist[slot] < d {
+			// Robin Hood swap: displace the richer entry.
+			t.keys[slot], key = key, t.keys[slot]
+			t.vals[slot], val = val, t.vals[slot]
+			t.dist[slot], d = d, t.dist[slot]
+		}
+		slot = (slot + 1) & t.mask
+		d++
+		if d >= maxProbe {
+			t.growAndReinsert(key, val)
+			return
+		}
+	}
+}
+
+func (t *RobinHood) growAndReinsert(key uint64, val int32) {
+	old := *t
+	capacity := len(old.keys) * 2
+	t.keys = make([]uint64, capacity)
+	t.vals = make([]int32, capacity)
+	t.dist = make([]int8, capacity)
+	t.mask = uint64(capacity - 1)
+	t.count = 0
+	for i := range t.dist {
+		t.dist[i] = -1
+	}
+	for i, d := range old.dist {
+		if d >= 0 {
+			t.Insert(old.keys[i], old.vals[i])
+		}
+	}
+	t.Insert(key, val)
+}
+
+// Get returns the value stored for key.
+func (t *RobinHood) Get(key uint64) (int32, bool) {
+	slot := hash1(key) & t.mask
+	d := int8(0)
+	for {
+		sd := t.dist[slot]
+		if sd < 0 || sd < d {
+			// An entry poorer than us would have displaced anything
+			// here: the key is absent.
+			return 0, false
+		}
+		if t.keys[slot] == key {
+			return t.vals[slot], true
+		}
+		slot = (slot + 1) & t.mask
+		d++
+		if d >= maxProbe {
+			return 0, false
+		}
+	}
+}
+
+// Count returns the number of stored entries.
+func (t *RobinHood) Count() int { return t.count }
+
+// SizeBytes reports the table footprint.
+func (t *RobinHood) SizeBytes() int { return len(t.keys) * (8 + 4 + 1) }
+
+// Cuckoo is a bucketized cuckoo hash table: two candidate buckets of
+// four slots each per key.
+type Cuckoo struct {
+	keys    []uint64 // nBuckets*4 slots
+	vals    []int32
+	used    []bool
+	nBucket uint64
+	count   int
+	rng     uint64
+}
+
+const cuckooSlots = 4
+const maxKicks = 500
+
+// NewCuckoo builds a table sized for n entries at the given load
+// factor (the paper found 0.99 maximizes Cuckoo lookup speed).
+func NewCuckoo(n int, loadFactor float64) (*Cuckoo, error) {
+	if loadFactor <= 0 || loadFactor > 1 {
+		return nil, fmt.Errorf("hashidx: invalid load factor %f", loadFactor)
+	}
+	buckets := uint64(1)
+	for float64(buckets*cuckooSlots)*loadFactor < float64(n) {
+		buckets <<= 1
+	}
+	return newCuckooBuckets(buckets), nil
+}
+
+func newCuckooBuckets(buckets uint64) *Cuckoo {
+	return &Cuckoo{
+		keys:    make([]uint64, buckets*cuckooSlots),
+		vals:    make([]int32, buckets*cuckooSlots),
+		used:    make([]bool, buckets*cuckooSlots),
+		nBucket: buckets,
+		rng:     0x853C49E6748FEA9B,
+	}
+}
+
+func (t *Cuckoo) buckets(key uint64) (uint64, uint64) {
+	b1 := hash1(key) & (t.nBucket - 1)
+	b2 := hash2(key) & (t.nBucket - 1)
+	return b1, b2
+}
+
+func (t *Cuckoo) nextRand() uint64 {
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 7
+	t.rng ^= t.rng << 17
+	return t.rng
+}
+
+// Insert adds key -> val; existing keys are overwritten.
+func (t *Cuckoo) Insert(key uint64, val int32) {
+	if t.update(key, val) {
+		return
+	}
+	for kick := 0; kick < maxKicks; kick++ {
+		b1, b2 := t.buckets(key)
+		if t.place(b1, key, val) || t.place(b2, key, val) {
+			t.count++
+			return
+		}
+		// Evict a random slot from a random candidate bucket.
+		b := b1
+		if t.nextRand()&1 == 0 {
+			b = b2
+		}
+		slot := b*cuckooSlots + t.nextRand()%cuckooSlots
+		key, t.keys[slot] = t.keys[slot], key
+		val, t.vals[slot] = t.vals[slot], val
+	}
+	// Persistent failure: grow and rehash.
+	t.grow()
+	t.Insert(key, val)
+}
+
+func (t *Cuckoo) update(key uint64, val int32) bool {
+	b1, b2 := t.buckets(key)
+	for _, b := range [2]uint64{b1, b2} {
+		base := b * cuckooSlots
+		for s := uint64(0); s < cuckooSlots; s++ {
+			if t.used[base+s] && t.keys[base+s] == key {
+				t.vals[base+s] = val
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (t *Cuckoo) place(b uint64, key uint64, val int32) bool {
+	base := b * cuckooSlots
+	for s := uint64(0); s < cuckooSlots; s++ {
+		if !t.used[base+s] {
+			t.keys[base+s], t.vals[base+s], t.used[base+s] = key, val, true
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Cuckoo) grow() {
+	old := *t
+	*t = *newCuckooBuckets(old.nBucket * 2)
+	for i, u := range old.used {
+		if u {
+			t.Insert(old.keys[i], old.vals[i])
+		}
+	}
+}
+
+// Get returns the value stored for key.
+func (t *Cuckoo) Get(key uint64) (int32, bool) {
+	b1, b2 := t.buckets(key)
+	for _, b := range [2]uint64{b1, b2} {
+		base := b * cuckooSlots
+		for s := uint64(0); s < cuckooSlots; s++ {
+			if t.used[base+s] && t.keys[base+s] == key {
+				return t.vals[base+s], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Count returns the number of stored entries.
+func (t *Cuckoo) Count() int { return t.count }
+
+// SizeBytes reports the table footprint.
+func (t *Cuckoo) SizeBytes() int { return len(t.keys) * (8 + 4 + 1) }
+
+// pointIndex adapts a hash table to core.Index: exact bounds for
+// present keys, the trivial full bound otherwise.
+type pointIndex struct {
+	get  func(uint64) (int32, bool)
+	size func() int
+	n    int
+	name string
+}
+
+func (p *pointIndex) Lookup(key core.Key) core.Bound {
+	if pos, ok := p.get(key); ok {
+		return core.Bound{Lo: int(pos), Hi: int(pos) + 1}
+	}
+	return core.FullBound(p.n)
+}
+
+func (p *pointIndex) SizeBytes() int { return p.size() }
+func (p *pointIndex) Name() string   { return p.name }
+
+// RobinHoodBuilder builds a RobinHood-backed point index mapping each
+// key to its first (lower-bound) position.
+type RobinHoodBuilder struct {
+	// LoadFactor defaults to the paper's 0.25 when zero.
+	LoadFactor float64
+}
+
+// Name implements core.Builder.
+func (RobinHoodBuilder) Name() string { return "RobinHash" }
+
+// Build implements core.Builder.
+func (b RobinHoodBuilder) Build(keys []core.Key) (core.Index, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("hashidx: empty key set")
+	}
+	lf := b.LoadFactor
+	if lf == 0 {
+		lf = 0.25
+	}
+	t, err := NewRobinHood(len(keys), lf)
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		if i > 0 && keys[i-1] == k {
+			continue // keep the lower-bound position for duplicates
+		}
+		t.Insert(k, int32(i))
+	}
+	return &pointIndex{get: t.Get, size: t.SizeBytes, n: len(keys), name: "RobinHash"}, nil
+}
+
+// CuckooBuilder builds a Cuckoo-backed point index.
+type CuckooBuilder struct {
+	// LoadFactor defaults to the paper's 0.99 when zero.
+	LoadFactor float64
+}
+
+// Name implements core.Builder.
+func (CuckooBuilder) Name() string { return "CuckooMap" }
+
+// Build implements core.Builder.
+func (b CuckooBuilder) Build(keys []core.Key) (core.Index, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("hashidx: empty key set")
+	}
+	lf := b.LoadFactor
+	if lf == 0 {
+		lf = 0.99
+	}
+	t, err := NewCuckoo(len(keys), lf)
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		if i > 0 && keys[i-1] == k {
+			continue
+		}
+		t.Insert(k, int32(i))
+	}
+	return &pointIndex{get: t.Get, size: t.SizeBytes, n: len(keys), name: "CuckooMap"}, nil
+}
+
+// Probe reports the probe sequence of a RobinHood lookup: the home
+// slot and the number of slots inspected; used by the performance-
+// counter simulation.
+func (t *RobinHood) Probe(key uint64) (home uint64, slots int, found bool) {
+	home = hash1(key) & t.mask
+	slot := home
+	d := int8(0)
+	for {
+		slots++
+		sd := t.dist[slot]
+		if sd < 0 || sd < d {
+			return home, slots, false
+		}
+		if t.keys[slot] == key {
+			return home, slots, true
+		}
+		slot = (slot + 1) & t.mask
+		d++
+		if d >= maxProbe {
+			return home, slots, false
+		}
+	}
+}
+
+// Slots reports the table capacity in slots.
+func (t *RobinHood) Slots() int { return len(t.keys) }

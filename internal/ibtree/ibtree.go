@@ -1,0 +1,26 @@
+// Package ibtree exposes the interpolating B-Tree baseline (Graefe's
+// IBTree, Section 4.1.1 of the paper): a B+tree whose in-node search
+// interpolates between the node's endpoint keys instead of binary
+// searching. It shares its implementation with package btree, differing
+// only in the in-node search strategy.
+package ibtree
+
+import (
+	"repro/internal/btree"
+	"repro/internal/core"
+)
+
+// Builder builds interpolating B+tree indexes with a fixed stride.
+type Builder struct {
+	// Stride inserts every Stride-th key (the paper's subset-insertion
+	// size knob).
+	Stride int
+}
+
+// Name implements core.Builder.
+func (b Builder) Name() string { return "IBTree" }
+
+// Build implements core.Builder.
+func (b Builder) Build(keys []core.Key) (core.Index, error) {
+	return btree.Builder{Stride: b.Stride, Interpolate: true}.Build(keys)
+}

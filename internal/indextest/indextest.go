@@ -1,0 +1,51 @@
+// Package indextest provides shared validity-checking helpers for
+// index-structure test suites. Every index in the benchmark promises
+// the same contract — bounds containing the lower bound for arbitrary
+// lookup keys — so the probing logic lives here once.
+package indextest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// ProbesFor builds a thorough probe set for a sorted key array: every
+// key, its absent neighbours, and the extremes of the key space.
+func ProbesFor(keys []core.Key) []core.Key {
+	probes := make([]core.Key, 0, 3*len(keys)+4)
+	for _, k := range keys {
+		probes = append(probes, k, k+1)
+		if k > 0 {
+			probes = append(probes, k-1)
+		}
+	}
+	probes = append(probes, 0, 1, ^core.Key(0), ^core.Key(0)-1)
+	return probes
+}
+
+// CheckValidity fails the test if idx returns an invalid bound for any
+// probe key.
+func CheckValidity(t *testing.T, idx core.Index, keys []core.Key, probes []core.Key) {
+	t.Helper()
+	for _, x := range probes {
+		b := idx.Lookup(x)
+		if !core.ValidBound(keys, x, b) {
+			t.Fatalf("%s: invalid bound %v for key %d (lb=%d, n=%d)",
+				idx.Name(), b, x, core.LowerBound(keys, x), len(keys))
+			return
+		}
+	}
+}
+
+// CheckBuilder builds idx from the builder and runs the full validity
+// probe; it returns the built index for further assertions.
+func CheckBuilder(t *testing.T, b core.Builder, keys []core.Key) core.Index {
+	t.Helper()
+	idx, err := b.Build(keys)
+	if err != nil {
+		t.Fatalf("%s: build: %v", b.Name(), err)
+	}
+	CheckValidity(t, idx, keys, ProbesFor(keys))
+	return idx
+}

@@ -1,0 +1,163 @@
+package pgm
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Dynamic is the fully-dynamic PGM extension (the paper's Section 3.3
+// notes "the PGM index can also handle inserts", which the benchmark
+// does not evaluate; it is provided and tested here for completeness).
+//
+// It uses the classic logarithmic method, as the PGM paper does: keys
+// live in O(log n) sorted runs of doubling capacity, each indexed by a
+// static PGM. An insert that overflows run 0 merges all full runs into
+// the first empty one, giving O(log n) amortized insert cost while
+// every run keeps the static index's query guarantees.
+type Dynamic struct {
+	eps   int
+	base  int
+	runs  []dynRun // runs[i] holds up to base<<i keys (or is empty)
+	count int
+}
+
+type dynRun struct {
+	keys []core.Key
+	vals []uint64
+	idx  *Index
+}
+
+// NewDynamic creates an empty dynamic PGM with the given epsilon.
+func NewDynamic(eps int) *Dynamic {
+	if eps < 1 {
+		eps = 1
+	}
+	return &Dynamic{eps: eps, base: 64}
+}
+
+// Len returns the number of stored entries.
+func (d *Dynamic) Len() int { return d.count }
+
+// Insert adds key -> val (duplicates allowed; all are retained).
+func (d *Dynamic) Insert(key core.Key, val uint64) error {
+	carryK := []core.Key{key}
+	carryV := []uint64{val}
+	for i := 0; ; i++ {
+		if i == len(d.runs) {
+			d.runs = append(d.runs, dynRun{})
+		}
+		r := &d.runs[i]
+		capI := d.base << i
+		if len(r.keys)+len(carryK) <= capI {
+			merged, mergedV := mergeRuns(r.keys, r.vals, carryK, carryV)
+			idx, err := New(merged, d.eps)
+			if err != nil {
+				return err
+			}
+			d.runs[i] = dynRun{keys: merged, vals: mergedV, idx: idx}
+			d.count++
+			return nil
+		}
+		// Run i overflows: carry its contents down and empty it.
+		carryK, carryV = mergeRuns(r.keys, r.vals, carryK, carryV)
+		d.runs[i] = dynRun{}
+	}
+}
+
+func mergeRuns(ak []core.Key, av []uint64, bk []core.Key, bv []uint64) ([]core.Key, []uint64) {
+	outK := make([]core.Key, 0, len(ak)+len(bk))
+	outV := make([]uint64, 0, len(av)+len(bv))
+	i, j := 0, 0
+	for i < len(ak) && j < len(bk) {
+		if ak[i] <= bk[j] {
+			outK = append(outK, ak[i])
+			outV = append(outV, av[i])
+			i++
+		} else {
+			outK = append(outK, bk[j])
+			outV = append(outV, bv[j])
+			j++
+		}
+	}
+	outK = append(outK, ak[i:]...)
+	outV = append(outV, av[i:]...)
+	outK = append(outK, bk[j:]...)
+	outV = append(outV, bv[j:]...)
+	return outK, outV
+}
+
+// ErrNotFound reports an empty result from Ceiling.
+var ErrNotFound = errors.New("pgm: no key at or above the query")
+
+// Ceiling returns the smallest stored key >= x and its value, scanning
+// each run through its static PGM index.
+func (d *Dynamic) Ceiling(x core.Key) (core.Key, uint64, error) {
+	bestKey := core.Key(math.MaxUint64)
+	var bestVal uint64
+	found := false
+	for i := range d.runs {
+		r := &d.runs[i]
+		if r.idx == nil || len(r.keys) == 0 {
+			continue
+		}
+		b := r.idx.Lookup(x)
+		pos := lowerBoundIn(r.keys, x, b)
+		if pos == len(r.keys) {
+			continue
+		}
+		if !found || r.keys[pos] < bestKey {
+			bestKey, bestVal, found = r.keys[pos], r.vals[pos], true
+		}
+	}
+	if !found {
+		return 0, 0, ErrNotFound
+	}
+	return bestKey, bestVal, nil
+}
+
+// Get returns the value of the first entry with exactly key.
+func (d *Dynamic) Get(key core.Key) (uint64, bool) {
+	k, v, err := d.Ceiling(key)
+	if err != nil || k != key {
+		return 0, false
+	}
+	return v, true
+}
+
+func lowerBoundIn(keys []core.Key, x core.Key, b core.Bound) int {
+	lo, hi := b.Lo, b.Hi
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SizeBytes reports the total footprint of all run indexes (the key
+// and value arrays are the data, as in the static case).
+func (d *Dynamic) SizeBytes() int {
+	total := 0
+	for i := range d.runs {
+		if d.runs[i].idx != nil {
+			total += d.runs[i].idx.SizeBytes()
+		}
+	}
+	return total
+}
+
+// NumRuns reports how many non-empty runs exist (O(log n)).
+func (d *Dynamic) NumRuns() int {
+	n := 0
+	for i := range d.runs {
+		if len(d.runs[i].keys) > 0 {
+			n++
+		}
+	}
+	return n
+}

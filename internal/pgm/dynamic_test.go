@@ -1,0 +1,131 @@
+package pgm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestDynamicInsertAndCeiling(t *testing.T) {
+	d := NewDynamic(8)
+	rng := rand.New(rand.NewSource(1))
+	var ref []core.Key
+	vals := map[core.Key]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := core.Key(rng.Uint64() % 1_000_000)
+		if _, dup := vals[k]; dup {
+			continue
+		}
+		vals[k] = uint64(i)
+		if err := d.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, k)
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	if d.Len() != len(ref) {
+		t.Fatalf("len = %d, want %d", d.Len(), len(ref))
+	}
+	for q := 0; q < 2000; q++ {
+		x := core.Key(rng.Uint64() % 1_100_000)
+		i := core.LowerBound(ref, x)
+		k, v, err := d.Ceiling(x)
+		if i == len(ref) {
+			if err == nil {
+				t.Fatalf("Ceiling(%d) = %d, want not-found", x, k)
+			}
+			continue
+		}
+		if err != nil || k != ref[i] || v != vals[ref[i]] {
+			t.Fatalf("Ceiling(%d) = (%d,%d,%v), want (%d,%d)", x, k, v, err, ref[i], vals[ref[i]])
+		}
+	}
+}
+
+func TestDynamicGet(t *testing.T) {
+	d := NewDynamic(4)
+	for i := 0; i < 500; i++ {
+		if err := d.Insert(core.Key(i*3), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		v, ok := d.Get(core.Key(i * 3))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = (%d, %v)", i*3, v, ok)
+		}
+	}
+	if _, ok := d.Get(1); ok {
+		t.Error("absent key found")
+	}
+}
+
+func TestDynamicLogarithmicRuns(t *testing.T) {
+	d := NewDynamic(8)
+	for i := 0; i < 100_000; i++ {
+		if err := d.Insert(core.Key(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The logarithmic method keeps O(log(n/base)) non-empty runs.
+	if runs := d.NumRuns(); runs > 14 {
+		t.Errorf("too many runs: %d", runs)
+	}
+	if d.SizeBytes() <= 0 {
+		t.Error("size must be positive")
+	}
+}
+
+func TestDynamicEmpty(t *testing.T) {
+	d := NewDynamic(8)
+	if _, _, err := d.Ceiling(5); err == nil {
+		t.Error("empty dynamic should not find")
+	}
+	if d.Len() != 0 || d.NumRuns() != 0 {
+		t.Error("empty counts wrong")
+	}
+}
+
+func TestDynamicDuplicates(t *testing.T) {
+	d := NewDynamic(2)
+	for i := 0; i < 200; i++ {
+		if err := d.Insert(42, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Len() != 200 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	k, _, err := d.Ceiling(42)
+	if err != nil || k != 42 {
+		t.Fatalf("Ceiling(42) = (%d, %v)", k, err)
+	}
+}
+
+// Property: dynamic PGM behaves like a sorted multiset under random
+// insert sequences.
+func TestDynamicProperty(t *testing.T) {
+	f := func(raw []uint64, x uint64) bool {
+		d := NewDynamic(4)
+		ref := make([]core.Key, 0, len(raw))
+		for i, k := range raw {
+			if err := d.Insert(k, uint64(i)); err != nil {
+				return false
+			}
+			ref = append(ref, k)
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		i := core.LowerBound(ref, x)
+		k, _, err := d.Ceiling(x)
+		if i == len(ref) {
+			return err != nil
+		}
+		return err == nil && k == ref[i]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,410 @@
+// Package pgm implements the piecewise geometric model index of
+// Ferragina and Vinciguerra (Section 3.3 of the paper).
+//
+// Each level is an error-bounded piecewise linear regression: the data
+// level approximates key -> position to within epsilon, and each level
+// above approximates key -> segment number of the level below, built
+// bottom-up until the top level is small enough to scan. Lookups
+// descend the levels, using the epsilon guarantee to restrict the
+// segment search at each step to a 2*(eps+1)+1 window.
+//
+// Segment construction uses a one-pass shrinking slope-corridor filter
+// anchored at each segment's first point. The corridor guarantees the
+// epsilon bound exactly; it can emit slightly more segments than the
+// optimal convex-hull construction of the PGM paper (bounded by a
+// small constant factor), which affects size but never correctness.
+// See DESIGN.md.
+package pgm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Segment is one piece of an error-bounded linear regression: it
+// covers points with keys in [Key, nextSegment.Key) and predicts
+// Pos + Slope*(x-Key) for the position of x in the level below.
+type Segment struct {
+	Key   core.Key // first key covered (exact integer for routing)
+	Slope float64
+	Pos   int32 // position of the first covered point in the level below
+}
+
+const segmentSizeBytes = 8 + 8 + 4
+
+// Index is a built PGM index.
+type Index struct {
+	eps    int
+	n      int
+	levels [][]Segment // levels[0] indexes the data; levels[k] indexes levels[k-1]
+	// Per-segment verified margins for the data level. The corridor
+	// guarantees eps for the first occurrence of every present key;
+	// these margins additionally cover absent keys, duplicate runs
+	// (whose lower-bound rank jumps can exceed eps) and float
+	// rounding. For unique-key datasets they stay within eps+2.
+	dataErrLo, dataErrHi []int32
+}
+
+// Builder constructs PGM indexes with a fixed error bound.
+type Builder struct {
+	// Eps is the maximum prediction error of every level (the paper's
+	// epsilon). Smaller epsilon means more segments (larger index) and
+	// tighter search bounds.
+	Eps int
+}
+
+// Name implements core.Builder.
+func (b Builder) Name() string { return "PGM" }
+
+// Build implements core.Builder.
+func (b Builder) Build(keys []core.Key) (core.Index, error) {
+	return New(keys, b.Eps)
+}
+
+// topLevelMax is the segment count at which level construction stops;
+// the top level is binary searched directly.
+const topLevelMax = 8
+
+// New builds a PGM index over sorted keys with the given epsilon.
+func New(keys []core.Key, eps int) (*Index, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("pgm: empty key set")
+	}
+	if eps < 1 {
+		eps = 1
+	}
+	idx := &Index{eps: eps, n: len(keys)}
+
+	// Build the data level on (key, position) points, then recursively
+	// index each level's first keys until small enough.
+	level := fitSegments(keys, eps)
+	idx.levels = append(idx.levels, level)
+	idx.dataErrLo, idx.dataErrHi = computeDataMargins(keys, level, eps)
+	for len(level) > topLevelMax {
+		firstKeys := make([]core.Key, len(level))
+		for i, s := range level {
+			firstKeys[i] = s.Key
+		}
+		level = fitSegments(firstKeys, eps)
+		idx.levels = append(idx.levels, level)
+	}
+	return idx, nil
+}
+
+// computeDataMargins derives, for every data-level segment, search
+// margins that are valid for lower-bound queries of arbitrary keys.
+// For any query x, let k be the largest distinct data key <= x: the
+// lower bound of x is either rank(k) (when x == k) or nextRank(k)
+// (when x lies in the gap above k, including above a duplicate run),
+// and the routed segment's prediction for x lies between its
+// predictions at k and at the next distinct key. Taking margins over
+// those extremes at every distinct key covers all queries.
+func computeDataMargins(keys []core.Key, segs []Segment, eps int) (errLo, errHi []int32) {
+	n, m := len(keys), len(segs)
+	errLo = make([]int32, m)
+	errHi = make([]int32, m)
+	for i := range errLo {
+		errLo[i], errHi[i] = int32(eps+1), int32(eps+1)
+	}
+	si := 0
+	for i := 0; i < n; {
+		k := keys[i]
+		j := i
+		for j+1 < n && keys[j+1] == k {
+			j++
+		}
+		nr := j + 1 // lower-bound rank of any key in the gap above k
+		for si+1 < m && segs[si+1].Key <= k {
+			si++
+		}
+		nextPos := n
+		if si+1 < m {
+			nextPos = int(segs[si+1].Pos)
+		}
+		pred := predict(segs[si], nextPos, k)
+		if need := int32(pred - i + 1); need > errLo[si] {
+			errLo[si] = need
+		}
+		if need := int32(nr - pred + 1); need > errHi[si] {
+			errHi[si] = need
+		}
+		if j+1 < n {
+			// Gap queries route to this segment but can be predicted as
+			// high as the (clamped) prediction at the next distinct key.
+			predGap := predict(segs[si], nextPos, keys[j+1])
+			if need := int32(predGap - nr + 1); need > errLo[si] {
+				errLo[si] = need
+			}
+		}
+		i = j + 1
+	}
+	return errLo, errHi
+}
+
+// fitSegments runs the one-pass corridor filter over (key, rank)
+// points, emitting segments that predict positions within eps.
+//
+// Only the first occurrence of each distinct key is used as a
+// constraint point (its rank is the key's lower bound), exactly as the
+// reference PGM handles duplicates: predictions then approximate the
+// lower-bound rank directly, and constraint x-values are strictly
+// increasing so the corridor slopes are always well defined.
+func fitSegments(keys []core.Key, eps int) []Segment {
+	n := len(keys)
+	segs := make([]Segment, 0, 16)
+	feps := float64(eps)
+
+	start := 0
+	x0 := float64(keys[0])
+	slopeLo, slopeHi := math.Inf(-1), math.Inf(1)
+	emit := func() {
+		// Any slope within the corridor satisfies all constraints;
+		// take the midpoint, clamped non-negative (positions are
+		// non-decreasing, so a valid non-negative slope exists).
+		var slope float64
+		switch {
+		case math.IsInf(slopeHi, 1) && math.IsInf(slopeLo, -1):
+			slope = 0 // single-point segment
+		case math.IsInf(slopeHi, 1):
+			slope = slopeLo
+		case math.IsInf(slopeLo, -1):
+			slope = slopeHi
+		default:
+			slope = (slopeLo + slopeHi) / 2
+		}
+		if slope < 0 {
+			slope = 0 // slopeHi > 0 always holds: ranks increase with keys
+		}
+		segs = append(segs, Segment{Key: keys[start], Slope: slope, Pos: int32(start)})
+	}
+
+	for i := start + 1; i < n; i++ {
+		if keys[i] == keys[i-1] {
+			continue // duplicate: constrained by its first occurrence
+		}
+		x := float64(keys[i])
+		gap := x - x0
+		if gap <= 0 {
+			// Distinct uint64 keys can collapse to the same float64;
+			// their rank error from the anchor must stay within eps.
+			if float64(i-start) <= feps {
+				continue
+			}
+			emit()
+			start, x0 = i, x
+			slopeLo, slopeHi = math.Inf(-1), math.Inf(1)
+			continue
+		}
+		dy := float64(i - start)
+		lo := (dy - feps) / gap
+		hi := (dy + feps) / gap
+		newLo, newHi := slopeLo, slopeHi
+		if lo > newLo {
+			newLo = lo
+		}
+		if hi < newHi {
+			newHi = hi
+		}
+		if newLo > newHi {
+			emit()
+			start, x0 = i, x
+			slopeLo, slopeHi = math.Inf(-1), math.Inf(1)
+			continue
+		}
+		slopeLo, slopeHi = newLo, newHi
+	}
+	emit()
+	return segs
+}
+
+// predict evaluates segment s for key x, clamped into [s.Pos, nextPos],
+// where nextPos is the first position of the following segment (or the
+// size of the level below for the last segment). Clamping against the
+// neighbour keeps extrapolation near segment boundaries within the
+// epsilon argument (as in the reference implementation).
+func predict(s Segment, nextPos int, x core.Key) int {
+	p := float64(s.Pos) + s.Slope*(float64(x)-float64(s.Key))
+	// Clamp in float space: converting an out-of-range float64 to int
+	// is not defined in Go and wraps to the wrong extreme on amd64.
+	if p <= float64(s.Pos) {
+		return int(s.Pos)
+	}
+	if p >= float64(nextPos) {
+		return nextPos
+	}
+	return int(math.Round(p))
+}
+
+// segSearch returns the rightmost segment index j in segs[lo:hi] with
+// segs[j].Key <= x, or lo if all keys exceed x.
+func segSearch(segs []Segment, x core.Key, lo, hi int) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if segs[mid].Key <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// Lookup implements core.Index.
+func (idx *Index) Lookup(key core.Key) core.Bound {
+	top := idx.levels[len(idx.levels)-1]
+	j := segSearch(top, key, 0, len(top))
+
+	// Descend internal levels: each level's segment predicts the
+	// segment number in the level below to within eps; search only
+	// that window.
+	for li := len(idx.levels) - 1; li >= 1; li-- {
+		below := idx.levels[li-1]
+		lvl := idx.levels[li]
+		seg := lvl[j]
+		nextPos := len(below)
+		if j+1 < len(lvl) {
+			nextPos = int(lvl[j+1].Pos)
+		}
+		pred := predict(seg, nextPos, key)
+		lo := pred - idx.eps - 1
+		hi := pred + idx.eps + 2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(below) {
+			hi = len(below)
+		}
+		j = segSearch(below, key, lo, hi)
+	}
+
+	// Data level: predict the position and widen by the segment's
+	// verified margins.
+	lvl := idx.levels[0]
+	seg := lvl[j]
+	nextPos := idx.n
+	if j+1 < len(lvl) {
+		nextPos = int(lvl[j+1].Pos)
+	}
+	pos := predict(seg, nextPos, key)
+	return core.BoundAround(pos, int(idx.dataErrLo[j]), int(idx.dataErrHi[j]), idx.n)
+}
+
+// SizeBytes implements core.Index.
+func (idx *Index) SizeBytes() int {
+	total := 0
+	for _, l := range idx.levels {
+		total += len(l) * segmentSizeBytes
+	}
+	total += 8 * len(idx.dataErrLo) // per-segment margins on the data level
+	return total
+}
+
+// Name implements core.Index.
+func (idx *Index) Name() string { return "PGM" }
+
+// Eps returns the error bound the index was built with.
+func (idx *Index) Eps() int { return idx.eps }
+
+// NumLevels reports the number of PLA levels (the paper's discussion of
+// PGM lookup cost centres on one cache miss per level).
+func (idx *Index) NumLevels() int { return len(idx.levels) }
+
+// NumSegments reports the total segment count across levels.
+func (idx *Index) NumSegments() int {
+	total := 0
+	for _, l := range idx.levels {
+		total += len(l)
+	}
+	return total
+}
+
+// String implements fmt.Stringer with a diagnostic summary.
+func (idx *Index) String() string {
+	return fmt.Sprintf("pgm[eps=%d, levels=%d, segments=%d]", idx.eps, len(idx.levels), idx.NumSegments())
+}
+
+// AvgLog2Error returns the mean log2 search-bound width over the data,
+// weighted by segment coverage — the paper's log2-error metric.
+func (idx *Index) AvgLog2Error() float64 {
+	lvl := idx.levels[0]
+	total, count := 0.0, 0.0
+	for j := range lvl {
+		next := idx.n
+		if j+1 < len(lvl) {
+			next = int(lvl[j+1].Pos)
+		}
+		occ := float64(next - int(lvl[j].Pos))
+		if occ <= 0 {
+			continue
+		}
+		w := float64(idx.dataErrLo[j] + idx.dataErrHi[j] + 1)
+		total += occ * math.Log2(w+1)
+		count += occ
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / count
+}
+
+// PathStep records one level visited during a lookup, for the
+// performance-counter simulation.
+type PathStep struct {
+	Level int // 0 = data level
+	Seg   int // segment evaluated at this level
+	// WinLo/WinHi is the segment-search window in the level below
+	// (both zero at the data level).
+	WinLo, WinHi int
+}
+
+// Explain returns the levels visited by Lookup(key) top-down, plus the
+// bound. It follows exactly the Lookup code path.
+func (idx *Index) Explain(key core.Key) ([]PathStep, core.Bound) {
+	steps := make([]PathStep, 0, len(idx.levels))
+	top := idx.levels[len(idx.levels)-1]
+	j := segSearch(top, key, 0, len(top))
+	for li := len(idx.levels) - 1; li >= 1; li-- {
+		below := idx.levels[li-1]
+		lvl := idx.levels[li]
+		seg := lvl[j]
+		nextPos := len(below)
+		if j+1 < len(lvl) {
+			nextPos = int(lvl[j+1].Pos)
+		}
+		pred := predict(seg, nextPos, key)
+		lo := pred - idx.eps - 1
+		hi := pred + idx.eps + 2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(below) {
+			hi = len(below)
+		}
+		steps = append(steps, PathStep{Level: li, Seg: j, WinLo: lo, WinHi: hi})
+		j = segSearch(below, key, lo, hi)
+	}
+	lvl := idx.levels[0]
+	seg := lvl[j]
+	nextPos := idx.n
+	if j+1 < len(lvl) {
+		nextPos = int(lvl[j+1].Pos)
+	}
+	pos := predict(seg, nextPos, key)
+	steps = append(steps, PathStep{Level: 0, Seg: j})
+	return steps, core.BoundAround(pos, int(idx.dataErrLo[j]), int(idx.dataErrHi[j]), idx.n)
+}
+
+// LevelSizes returns the segment count of each level, data level first.
+func (idx *Index) LevelSizes() []int {
+	out := make([]int, len(idx.levels))
+	for i, l := range idx.levels {
+		out[i] = len(l)
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package rmi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func allConfigs() []Config {
+	kinds := []ModelKind{ModelLinear, ModelLinearSpline, ModelCubic, ModelRadix}
+	var cfgs []Config
+	for _, s1 := range kinds {
+		for _, s2 := range kinds {
+			for _, b := range []int{1, 16, 256, 4096} {
+				cfgs = append(cfgs, Config{Stage1: s1, Stage2: s2, Branch: b})
+			}
+		}
+	}
+	return cfgs
+}
+
+func checkValidity(t *testing.T, idx core.Index, keys []core.Key, probes []core.Key) {
+	t.Helper()
+	for _, x := range probes {
+		b := idx.Lookup(x)
+		if !core.ValidBound(keys, x, b) {
+			t.Fatalf("%s: invalid bound %v for key %d (lb=%d)", idx.Name(), b, x, core.LowerBound(keys, x))
+		}
+	}
+}
+
+// probesFor builds a thorough probe set: every key, absent neighbours,
+// and extremes.
+func probesFor(keys []core.Key) []core.Key {
+	probes := make([]core.Key, 0, 3*len(keys)+4)
+	for _, k := range keys {
+		probes = append(probes, k)
+		probes = append(probes, k+1)
+		if k > 0 {
+			probes = append(probes, k-1)
+		}
+	}
+	probes = append(probes, 0, 1, ^core.Key(0), ^core.Key(0)-1)
+	return probes
+}
+
+func TestRMIValidityAllConfigsAllDatasets(t *testing.T) {
+	for _, name := range dataset.All() {
+		keys := dataset.MustGenerate(name, 5000, 1)
+		probes := probesFor(keys)
+		for _, cfg := range allConfigs() {
+			idx, err := New(keys, cfg)
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, cfg, err)
+			}
+			checkValidity(t, idx, keys, probes)
+		}
+	}
+}
+
+func TestRMIExactOnLinearData(t *testing.T) {
+	// Perfectly linear data must yield near-zero error: width <= 3
+	// (the ±1 absent-key widening).
+	keys := make([]core.Key, 1000)
+	for i := range keys {
+		keys[i] = core.Key(1000 + 10*i)
+	}
+	idx, err := New(keys, Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		b := idx.Lookup(k)
+		if b.Width() > 3 {
+			t.Fatalf("bound %v too wide for linear data at key %d", b, k)
+		}
+		if b.Lo > i || i >= b.Hi {
+			t.Fatalf("bound %v misses position %d", b, i)
+		}
+	}
+}
+
+func TestRMIEmptyKeys(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("expected error for empty keys")
+	}
+}
+
+func TestRMISingleKey(t *testing.T) {
+	keys := []core.Key{42}
+	idx, err := New(keys, Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidity(t, idx, keys, []core.Key{0, 41, 42, 43, ^core.Key(0)})
+}
+
+func TestRMIDuplicateKeys(t *testing.T) {
+	keys := []core.Key{5, 5, 5, 10, 10, 20, 20, 20, 20, 30}
+	idx, err := New(keys, Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidity(t, idx, keys, probesFor(keys))
+}
+
+func TestRMIBranchClamping(t *testing.T) {
+	keys := []core.Key{1, 2, 3}
+	idx, err := New(keys, Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumLeaves() > 3 {
+		t.Errorf("branch not clamped: %d leaves", idx.NumLeaves())
+	}
+	idx2, err := New(keys, Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.NumLeaves() != 1 {
+		t.Errorf("zero branch should clamp to 1, got %d", idx2.NumLeaves())
+	}
+}
+
+func TestRMISizeGrowsWithBranch(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Amzn, 10000, 1)
+	small, _ := New(keys, Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 16})
+	large, _ := New(keys, Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 1024})
+	if small.SizeBytes() >= large.SizeBytes() {
+		t.Errorf("size should grow with branch: %d vs %d", small.SizeBytes(), large.SizeBytes())
+	}
+}
+
+func TestRMIErrorShrinksWithBranch(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Amzn, 50000, 1)
+	prev := math.Inf(1)
+	for _, b := range []int{16, 256, 4096} {
+		idx, _ := New(keys, Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: b})
+		e := idx.AvgLog2Error()
+		if e > prev+0.5 { // allow small non-monotonic wiggle
+			t.Errorf("log2 error should shrink with branch: B=%d e=%f prev=%f", b, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestRMIOSMHarderThanAmzn(t *testing.T) {
+	// The paper's core observation about osm: at equal architecture,
+	// the model error is much larger.
+	n := 50000
+	amzn := dataset.MustGenerate(dataset.Amzn, n, 1)
+	osm := dataset.MustGenerate(dataset.OSM, n, 1)
+	cfg := Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 1024}
+	ia, _ := New(amzn, cfg)
+	io, _ := New(osm, cfg)
+	if io.AvgLog2Error() <= ia.AvgLog2Error() {
+		t.Errorf("osm log2 error (%f) should exceed amzn (%f)", io.AvgLog2Error(), ia.AvgLog2Error())
+	}
+}
+
+func TestRMIBuilderInterface(t *testing.T) {
+	var b core.Builder = Builder{Config: Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 64}}
+	if b.Name() != "RMI" {
+		t.Errorf("builder name = %q", b.Name())
+	}
+	keys := dataset.MustGenerate(dataset.Wiki, 2000, 1)
+	idx, err := b.Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Name() != "RMI" {
+		t.Errorf("index name = %q", idx.Name())
+	}
+	if idx.SizeBytes() <= 0 {
+		t.Error("size must be positive")
+	}
+	checkValidity(t, idx, keys, probesFor(keys))
+}
+
+func TestRMIMaxErrorWidth(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.OSM, 5000, 1)
+	idx, _ := New(keys, Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 64})
+	w := idx.MaxErrorWidth()
+	if w < 1 {
+		t.Errorf("max error width %d < 1", w)
+	}
+	// Every bound must be no wider than the max error width.
+	for _, k := range keys[:500] {
+		if b := idx.Lookup(k); b.Width() > w {
+			t.Errorf("bound %v wider than MaxErrorWidth %d", b, w)
+		}
+	}
+}
+
+func TestParetoConfigs(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Amzn, 100000, 1)
+	cfgs := ParetoConfigs(keys, 5)
+	if len(cfgs) == 0 || len(cfgs) > 5 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	// Branch factors must span small to large.
+	if cfgs[0].Branch >= cfgs[len(cfgs)-1].Branch {
+		t.Errorf("configs not spanning sizes: %v", cfgs)
+	}
+	for _, cfg := range cfgs {
+		idx, err := New(keys, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		checkValidity(t, idx, keys, keys[:200])
+	}
+}
+
+func TestTuneRespectsBudget(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Amzn, 100000, 1)
+	budget := 64 * 1024
+	cfg := Tune(keys, budget)
+	idx, err := New(keys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.SizeBytes() > budget {
+		t.Errorf("tuned size %d exceeds budget %d", idx.SizeBytes(), budget)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{Stage1: ModelCubic, Stage2: ModelLinear, Branch: 128}
+	if got := c.String(); got != "rmi[cubic,linear,B=128]" {
+		t.Errorf("String = %q", got)
+	}
+	if ModelKind(99).String() != "unknown" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestModelFitMonotone(t *testing.T) {
+	// Whatever the data, fitted models must be monotone non-decreasing
+	// over the training range (validity depends on it).
+	keyset := [][]float64{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{1, 10, 11, 12, 1000, 1001, 5000, 100000},
+		{5, 5, 5, 5, 5}, // all equal
+		{0, 1e18, 2e18, 3e18},
+		{1, 2, 4, 8, 16, 32, 64, 128, 256, 512},
+	}
+	for _, keys := range keyset {
+		for _, kind := range []ModelKind{ModelLinear, ModelLinearSpline, ModelCubic, ModelRadix} {
+			m := fitModel(kind, keys, 0)
+			prev := math.Inf(-1)
+			for _, k := range keys {
+				p := m.predict(k)
+				if p < prev-1e-6 {
+					t.Fatalf("kind %v on %v: non-monotone at key %v (%f < %f)", kind, keys, k, p, prev)
+				}
+				prev = p
+			}
+		}
+	}
+}
+
+func TestCubicMonotoneCheck(t *testing.T) {
+	if !cubicMonotoneOn01(1, 0, 0) {
+		t.Error("linear-in-cubic should be monotone")
+	}
+	if cubicMonotoneOn01(-1, 0, 0) {
+		t.Error("negative slope should not be monotone")
+	}
+	// Derivative dips negative in the middle: 1 - 6t + 6t² at t=0.5 is -0.5.
+	if cubicMonotoneOn01(1, -3, 2) {
+		t.Error("mid-dip cubic should not be monotone")
+	}
+}
+
+func TestFitCubicFallback(t *testing.T) {
+	// Fewer than 4 points cannot fit a cubic; must fall back to linear.
+	m := fitModel(ModelCubic, []float64{1, 2, 3}, 0)
+	if m.kind == ModelCubic {
+		t.Error("cubic fit on 3 points should fall back")
+	}
+}

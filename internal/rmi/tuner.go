@@ -1,0 +1,159 @@
+package rmi
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// The tuner plays the role of CDFShop (Marcus et al., SIGMOD'20 demo):
+// given a dataset, it explores stage-model combinations and branching
+// factors, scores each architecture with a latency proxy, and returns
+// either the best configuration under a size budget or a Pareto sweep
+// of configurations across sizes.
+//
+// The latency proxy combines model inference cost with the expected
+// number of last-mile binary-search steps (the paper's "log2 error"),
+// the two terms the paper identifies learned indexes as trading off.
+
+// inferenceCost is a relative per-eval cost for each model kind, in
+// binary-search-step-equivalent units.
+func inferenceCost(k ModelKind) float64 {
+	switch k {
+	case ModelRadix:
+		return 0.5
+	case ModelLinearSpline:
+		return 0.8
+	case ModelLinear:
+		return 0.8
+	case ModelCubic:
+		return 1.6
+	default:
+		return 1
+	}
+}
+
+// proxyCost scores a trained RMI: two model evaluations (one per
+// stage), one likely cache miss for the leaf array when B is large,
+// plus the expected binary-search steps.
+func proxyCost(idx *Index) float64 {
+	c := inferenceCost(idx.cfg.Stage1) + inferenceCost(idx.cfg.Stage2)
+	return c + idx.AvgLog2Error()
+}
+
+// candidateCombos is the architecture grid the tuner explores. The
+// reference CDFShop grid is larger; these are the combinations that
+// win on the SOSD datasets.
+var candidateCombos = []struct{ s1, s2 ModelKind }{
+	{ModelLinear, ModelLinear},
+	{ModelLinearSpline, ModelLinear},
+	{ModelRadix, ModelLinear},
+	{ModelCubic, ModelLinear},
+	{ModelLinear, ModelLinearSpline},
+	{ModelCubic, ModelLinearSpline},
+}
+
+// tuneSampleMax caps the number of keys used while exploring
+// architectures; final indexes are always trained on the full data.
+const tuneSampleMax = 131072
+
+// sample returns at most m evenly spaced keys.
+func sample(keys []core.Key, m int) []core.Key {
+	n := len(keys)
+	if n <= m {
+		return keys
+	}
+	out := make([]core.Key, m)
+	for i := 0; i < m; i++ {
+		out[i] = keys[i*(n-1)/(m-1)]
+	}
+	// Evenly spaced sampling can repeat endpoints on tiny inputs;
+	// uniqueness is not required by the trainer.
+	return out
+}
+
+// bestComboFor returns the lowest-proxy-cost (stage1, stage2) pair for
+// the given branch factor, tuned on a sample of keys.
+func bestComboFor(keys []core.Key, branch int) (Config, float64) {
+	s := sample(keys, tuneSampleMax)
+	// Scale the branch factor to the sample so leaf occupancy (and
+	// hence log2 error) is comparable to the full build.
+	sb := branch * len(s) / len(keys)
+	if sb < 1 {
+		sb = 1
+	}
+	best := Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: branch}
+	bestCost := math.Inf(1)
+	for _, combo := range candidateCombos {
+		cfg := Config{Stage1: combo.s1, Stage2: combo.s2, Branch: sb}
+		idx, err := New(s, cfg)
+		if err != nil {
+			continue
+		}
+		if c := proxyCost(idx); c < bestCost {
+			bestCost = c
+			best = Config{Stage1: combo.s1, Stage2: combo.s2, Branch: branch}
+		}
+	}
+	return best, bestCost
+}
+
+// branchGrid returns the branching factors explored for a dataset of n
+// keys: powers of four from 64 up to n/2, capped at 4M leaves.
+func branchGrid(n int) []int {
+	var grid []int
+	for b := 64; b <= n/2 && b <= 1<<22; b *= 4 {
+		grid = append(grid, b)
+	}
+	if len(grid) == 0 {
+		grid = []int{1}
+	}
+	return grid
+}
+
+// ParetoConfigs returns up to count tuned configurations spanning the
+// size range (small to large), one per branching factor, mirroring the
+// paper's "ten configurations ranging from minimum to maximum size".
+func ParetoConfigs(keys []core.Key, count int) []Config {
+	grid := branchGrid(len(keys))
+	if count > 0 && len(grid) > count {
+		// Thin the grid evenly, keeping the extremes.
+		thin := make([]int, count)
+		for i := 0; i < count; i++ {
+			thin[i] = grid[i*(len(grid)-1)/(count-1)]
+		}
+		grid = thin
+	}
+	cfgs := make([]Config, 0, len(grid))
+	for _, b := range grid {
+		cfg, _ := bestComboFor(keys, b)
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// Tune returns the best configuration whose index size fits within
+// sizeBudget bytes (0 means unlimited). This is the entry point used
+// by Table 2 ("fastest variant").
+func Tune(keys []core.Key, sizeBudget int) Config {
+	type scored struct {
+		cfg  Config
+		cost float64
+		size int
+	}
+	var all []scored
+	for _, b := range branchGrid(len(keys)) {
+		size := modelSizeBytes + b*leafSizeBytes
+		if sizeBudget > 0 && size > sizeBudget {
+			continue
+		}
+		cfg, cost := bestComboFor(keys, b)
+		all = append(all, scored{cfg, cost, size})
+	}
+	if len(all) == 0 {
+		return Config{Stage1: ModelLinear, Stage2: ModelLinear, Branch: 64}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].cost < all[j].cost })
+	return all[0].cfg
+}

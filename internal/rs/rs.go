@@ -1,0 +1,333 @@
+// Package rs implements the RadixSpline index of Kipf et al.
+// (Section 3.2 of the paper): a one-pass greedy linear spline over the
+// CDF plus a radix table indexing r-bit prefixes of the spline points.
+//
+// Lookups extract the key's r-bit prefix, use the radix table to narrow
+// the spline-point search, binary search the narrowed range for the
+// spline segment containing the key, then linearly interpolate between
+// the two surrounding spline points to estimate the position. The
+// spline fitting guarantees a user-defined error bound.
+package rs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// Point is a spline point: an actual (key, lower-bound rank) pair from
+// the data; the spline is the polyline through consecutive points.
+type Point struct {
+	Key core.Key
+	Pos int32
+}
+
+const pointSizeBytes = 8 + 4
+
+// Config holds the two RadixSpline hyperparameters; the paper notes RS
+// is easy to tune precisely because these are the only knobs.
+type Config struct {
+	// SplineErr is the maximum spline interpolation error in positions.
+	SplineErr int
+	// RadixBits is the number of key-prefix bits indexed by the radix
+	// table (table size is 2^RadixBits + 1 offsets).
+	RadixBits int
+}
+
+// String implements fmt.Stringer.
+func (c Config) String() string { return fmt.Sprintf("rs[eps=%d,r=%d]", c.SplineErr, c.RadixBits) }
+
+// Builder builds RadixSpline indexes with a fixed configuration.
+type Builder struct {
+	Config Config
+}
+
+// Name implements core.Builder.
+func (b Builder) Name() string { return "RS" }
+
+// Build implements core.Builder.
+func (b Builder) Build(keys []core.Key) (core.Index, error) {
+	return New(keys, b.Config)
+}
+
+// Index is a built RadixSpline.
+type Index struct {
+	cfg    Config
+	n      int
+	minKey core.Key
+	shift  uint
+	radix  []int32 // 2^r+1 offsets into points
+	points []Point
+	// Verified global search margins (spline error plus absent-key and
+	// duplicate-run slack; see computeMargins).
+	errLo, errHi int
+}
+
+// New builds a RadixSpline over sorted keys.
+func New(keys []core.Key, cfg Config) (*Index, error) {
+	n := len(keys)
+	if n == 0 {
+		return nil, errors.New("rs: empty key set")
+	}
+	if cfg.SplineErr < 1 {
+		cfg.SplineErr = 1
+	}
+	if cfg.RadixBits < 1 {
+		cfg.RadixBits = 1
+	}
+	if cfg.RadixBits > 28 {
+		cfg.RadixBits = 28
+	}
+	idx := &Index{cfg: cfg, n: n, minKey: keys[0]}
+	idx.points = fitSpline(keys, cfg.SplineErr)
+
+	// Radix table over the key range: prefix(x) = (x-minKey)>>shift.
+	span := keys[n-1] - keys[0]
+	spanBits := bits.Len64(span)
+	if spanBits > cfg.RadixBits {
+		idx.shift = uint(spanBits - cfg.RadixBits)
+	}
+	tableSize := 1<<cfg.RadixBits + 1
+	idx.radix = make([]int32, tableSize)
+	// radix[p] = first spline point whose prefix is >= p.
+	pi := 0
+	for p := 0; p < tableSize; p++ {
+		for pi < len(idx.points) && idx.prefix(idx.points[pi].Key) < uint64(p) {
+			pi++
+		}
+		idx.radix[p] = int32(pi)
+	}
+	idx.errLo, idx.errHi = computeMargins(keys, idx)
+	return idx, nil
+}
+
+// prefix extracts the radix-table bucket of a key, clamped to the
+// table range.
+func (idx *Index) prefix(x core.Key) uint64 {
+	if x <= idx.minKey {
+		return 0
+	}
+	p := (x - idx.minKey) >> idx.shift
+	max := uint64(1)<<idx.cfg.RadixBits - 1
+	if p > max {
+		p = max
+	}
+	return p
+}
+
+// fitSpline runs the one-pass greedy spline corridor over the distinct
+// (key, lower-bound rank) points. Every distinct data point is within
+// eps of the resulting polyline.
+//
+// The corridor invariant: any line through the current base with slope
+// in [slopeLo, slopeHi] passes within eps of every point accepted so
+// far. A candidate point is accepted iff the chord base→candidate lies
+// inside the corridor (so the eventual spline segment, which IS that
+// chord, honours every accepted point); the corridor then narrows with
+// the candidate's own eps window.
+func fitSpline(keys []core.Key, eps int) []Point {
+	n := len(keys)
+	feps := float64(eps)
+	pts := []Point{{Key: keys[0], Pos: 0}}
+	baseX, baseY := float64(keys[0]), 0.0
+	slopeLo, slopeHi := math.Inf(-1), math.Inf(1)
+	prevKey, prevPos := keys[0], int32(0)
+	havePrev := false
+
+	rebase := func(k core.Key, pos int32) {
+		pts = append(pts, Point{Key: k, Pos: pos})
+		baseX, baseY = float64(k), float64(pos)
+		slopeLo, slopeHi = math.Inf(-1), math.Inf(1)
+	}
+
+	for i := 1; i < n; i++ {
+		if keys[i] == keys[i-1] {
+			continue // duplicates are represented by their first occurrence
+		}
+		x, y := float64(keys[i]), float64(i)
+		gap := x - baseX
+		if gap <= 0 {
+			// Distinct uint64 collapsing to one float64: absorb while
+			// the vertical error stays within eps, else cut at the
+			// current point itself.
+			if y-baseY <= feps {
+				prevKey, prevPos, havePrev = keys[i], int32(i), true
+				continue
+			}
+			rebase(keys[i], int32(i))
+			prevKey, prevPos, havePrev = keys[i], int32(i), true
+			continue
+		}
+		chord := (y - baseY) / gap
+		if chord < slopeLo || chord > slopeHi {
+			// The chord would violate an earlier point: emit the
+			// previous point as a spline point and restart from it.
+			if havePrev && prevKey != pts[len(pts)-1].Key {
+				rebase(prevKey, prevPos)
+				gap = x - baseX
+				if gap <= 0 {
+					prevKey, prevPos, havePrev = keys[i], int32(i), true
+					continue
+				}
+			} else {
+				rebase(keys[i], int32(i))
+				prevKey, prevPos, havePrev = keys[i], int32(i), true
+				continue
+			}
+		}
+		// Narrow the corridor with the candidate's eps window.
+		if lo := (y - feps - baseY) / gap; lo > slopeLo {
+			slopeLo = lo
+		}
+		if hi := (y + feps - baseY) / gap; hi < slopeHi {
+			slopeHi = hi
+		}
+		prevKey, prevPos, havePrev = keys[i], int32(i), true
+	}
+	if havePrev && pts[len(pts)-1].Key != prevKey {
+		pts = append(pts, Point{Key: prevKey, Pos: prevPos})
+	}
+	return pts
+}
+
+// interpolate evaluates the spline at x: the polyline through points
+// seg and seg+1. The result is clamped into the segment's rank range.
+func (idx *Index) interpolate(seg int, x core.Key) int {
+	p0 := idx.points[seg]
+	if seg+1 >= len(idx.points) {
+		return int(p0.Pos)
+	}
+	p1 := idx.points[seg+1]
+	if x <= p0.Key {
+		return int(p0.Pos)
+	}
+	if x >= p1.Key {
+		return int(p1.Pos)
+	}
+	frac := float64(x-p0.Key) / float64(p1.Key-p0.Key)
+	p := float64(p0.Pos) + frac*float64(p1.Pos-p0.Pos)
+	return int(math.Round(p))
+}
+
+// segmentFor locates the spline segment containing x: the rightmost
+// point with Key <= x, restricted to the radix-table window.
+func (idx *Index) segmentFor(x core.Key) int {
+	p := idx.prefix(x)
+	lo, hi := int(idx.radix[p]), int(idx.radix[p+1])
+	// The window bounds points with prefix exactly p; the containing
+	// segment can start one point earlier.
+	if lo > 0 {
+		lo--
+	}
+	if hi > len(idx.points) {
+		hi = len(idx.points)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if idx.points[mid].Key <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// Lookup implements core.Index.
+func (idx *Index) Lookup(key core.Key) core.Bound {
+	seg := idx.segmentFor(key)
+	pos := idx.interpolate(seg, key)
+	return core.BoundAround(pos, idx.errLo, idx.errHi, idx.n)
+}
+
+// computeMargins verifies the spline against every distinct key and
+// the gaps between them, returning global search margins valid for
+// arbitrary lower-bound queries (see the analogous reasoning in
+// package pgm).
+func computeMargins(keys []core.Key, idx *Index) (errLo, errHi int) {
+	errLo, errHi = idx.cfg.SplineErr+1, idx.cfg.SplineErr+1
+	n := len(keys)
+	for i := 0; i < n; {
+		k := keys[i]
+		j := i
+		for j+1 < n && keys[j+1] == k {
+			j++
+		}
+		nr := j + 1
+		seg := idx.segmentFor(k)
+		pred := idx.interpolate(seg, k)
+		if need := pred - i + 1; need > errLo {
+			errLo = need
+		}
+		if need := nr - pred + 1; need > errHi {
+			errHi = need
+		}
+		if j+1 < n {
+			segG := idx.segmentFor(keys[j+1])
+			predG := idx.interpolate(segG, keys[j+1])
+			if need := predG - nr + 1; need > errLo {
+				errLo = need
+			}
+		}
+		i = j + 1
+	}
+	return errLo, errHi
+}
+
+// SizeBytes implements core.Index.
+func (idx *Index) SizeBytes() int {
+	return len(idx.radix)*4 + len(idx.points)*pointSizeBytes
+}
+
+// Name implements core.Index.
+func (idx *Index) Name() string { return "RS" }
+
+// NumPoints reports the spline point count.
+func (idx *Index) NumPoints() int { return len(idx.points) }
+
+// AvgLog2Error returns log2 of the (global) bound width, the paper's
+// log2-error metric.
+func (idx *Index) AvgLog2Error() float64 {
+	return math.Log2(float64(idx.errLo+idx.errHi+1) + 1)
+}
+
+// ConfigUsed returns the configuration the index was built with.
+func (idx *Index) ConfigUsed() Config { return idx.cfg }
+
+// Explanation records the lookup path internals for the performance-
+// counter simulation.
+type Explanation struct {
+	Bucket       uint64 // radix-table bucket probed
+	WinLo, WinHi int    // spline-point binary-search window
+	Seg          int    // spline segment selected
+	Pos          int    // interpolated position
+	Bound        core.Bound
+}
+
+// Explain follows exactly the Lookup code path and reports each step.
+func (idx *Index) Explain(key core.Key) Explanation {
+	p := idx.prefix(key)
+	lo, hi := int(idx.radix[p]), int(idx.radix[p+1])
+	if lo > 0 {
+		lo--
+	}
+	if hi > len(idx.points) {
+		hi = len(idx.points)
+	}
+	seg := idx.segmentFor(key)
+	pos := idx.interpolate(seg, key)
+	return Explanation{
+		Bucket: p,
+		WinLo:  lo,
+		WinHi:  hi,
+		Seg:    seg,
+		Pos:    pos,
+		Bound:  core.BoundAround(pos, idx.errLo, idx.errHi, idx.n),
+	}
+}

@@ -1,0 +1,167 @@
+// Package search implements the "last mile" search functions of the
+// benchmark (Section 4.2.3 of the paper): given a valid search bound
+// produced by an index structure, locate the exact lower-bound position
+// of the lookup key using binary, linear, or interpolation search.
+package search
+
+import "repro/internal/core"
+
+// Fn is a last-mile search function: it returns the lower bound of key
+// within keys[b.Lo:b.Hi], as an absolute position into keys. The bound
+// must be valid for key (see core.ValidBound); behaviour is undefined
+// otherwise.
+type Fn func(keys []core.Key, key core.Key, b core.Bound) int
+
+// Kind enumerates the last-mile search strategies evaluated in the paper.
+type Kind int
+
+const (
+	Binary Kind = iota
+	Linear
+	Interpolation
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Binary:
+		return "binary"
+	case Linear:
+		return "linear"
+	case Interpolation:
+		return "interpolation"
+	default:
+		return "unknown"
+	}
+}
+
+// ByKind returns the search function for k.
+func ByKind(k Kind) Fn {
+	switch k {
+	case Binary:
+		return BinarySearch
+	case Linear:
+		return LinearSearch
+	case Interpolation:
+		return InterpolationSearch
+	default:
+		return BinarySearch
+	}
+}
+
+// BinarySearch locates the lower bound of key within the bound using
+// classic branch-light binary search.
+func BinarySearch(keys []core.Key, key core.Key, b core.Bound) int {
+	lo, hi := b.Lo, b.Hi
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LinearSearch scans forward from the start of the bound. It is fastest
+// only for very narrow bounds (the paper finds binary search wins above
+// a small threshold).
+func LinearSearch(keys []core.Key, key core.Key, b core.Bound) int {
+	i := b.Lo
+	for i < b.Hi && keys[i] < key {
+		i++
+	}
+	return i
+}
+
+// InterpolationSearch repeatedly estimates the key's position assuming
+// keys are uniformly distributed between the bound's endpoints, then
+// narrows the bound around the probe. It falls back to binary search
+// when the range stops shrinking quickly, guaranteeing O(log n) worst
+// case while keeping the O(log log n) behaviour on smooth data.
+func InterpolationSearch(keys []core.Key, key core.Key, b core.Bound) int {
+	lo, hi := b.Lo, b.Hi
+	// Invariant: the lower bound of key lies in [lo, hi], with lb == hi
+	// only possible when every key in the range is less than key.
+	const maxProbes = 16
+	for probes := 0; probes < maxProbes && hi-lo > 8; probes++ {
+		first, last := keys[lo], keys[hi-1]
+		if key <= first {
+			return lo
+		}
+		if key > last {
+			return hi
+		}
+		// first < key <= last here, so first < last and interpolation
+		// is well-defined. float64 avoids overflow in the product.
+		frac := float64(key-first) / float64(last-first)
+		pos := lo + int(frac*float64(hi-1-lo))
+		if pos < lo {
+			pos = lo
+		}
+		if pos >= hi {
+			pos = hi - 1
+		}
+		if keys[pos] < key {
+			lo = pos + 1
+		} else {
+			hi = pos + 1
+		}
+	}
+	return BinarySearch(keys, key, core.Bound{Lo: lo, Hi: hi})
+}
+
+// ExponentialSearch searches forward from b.Lo with doubling steps, then
+// binary-searches the final gallop range. The paper mentions integrating
+// exponential search as future work; it is provided for the ablation
+// benchmarks.
+func ExponentialSearch(keys []core.Key, key core.Key, b core.Bound) int {
+	if b.Lo >= b.Hi {
+		return b.Lo
+	}
+	if keys[b.Lo] >= key {
+		return b.Lo
+	}
+	step := 1
+	lo := b.Lo
+	for lo+step < b.Hi && keys[lo+step] < key {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > b.Hi {
+		hi = b.Hi
+	}
+	return BinarySearch(keys, key, core.Bound{Lo: lo, Hi: hi})
+}
+
+// BinarySearch32 is BinarySearch for 32-bit keys.
+func BinarySearch32(keys []core.Key32, key core.Key32, b core.Bound) int {
+	lo, hi := b.Lo, b.Hi
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// BinarySteps reports the number of binary-search iterations needed to
+// resolve a bound of the given width: ceil(log2(width)) for width >= 2.
+// It is the paper's "log2 error" unit for a single bound.
+func BinarySteps(width int) int {
+	if width <= 1 {
+		return 0
+	}
+	steps := 0
+	w := uint(width - 1)
+	for w > 0 {
+		steps++
+		w >>= 1
+	}
+	return steps
+}

@@ -1,0 +1,276 @@
+// Package stats implements the linear-regression analysis of Section
+// 4.3: ordinary least squares with an intercept, standardized
+// coefficients, R², and two-sided p-values from the Student
+// t-distribution (computed via the regularized incomplete beta
+// function, stdlib only).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Regression is a fitted OLS model y = b0 + b1*x1 + ... + bk*xk.
+type Regression struct {
+	// Names labels the predictors (no intercept entry).
+	Names []string
+	// Coef holds the raw coefficients, intercept first.
+	Coef []float64
+	// StdCoef holds standardized coefficients (beta weights) per
+	// predictor: the number of standard deviations of y moved by one
+	// standard deviation of the predictor, holding others fixed.
+	StdCoef []float64
+	// PValues holds two-sided p-values per predictor (intercept
+	// excluded), testing the null hypothesis that the coefficient is
+	// zero.
+	PValues []float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// N and DF are the sample size and residual degrees of freedom.
+	N, DF int
+}
+
+// OLS fits y against the named predictor columns. Every column must
+// have len(y) entries.
+func OLS(y []float64, names []string, cols ...[]float64) (*Regression, error) {
+	n := len(y)
+	k := len(cols)
+	if k == 0 {
+		return nil, errors.New("stats: no predictors")
+	}
+	if len(names) != k {
+		return nil, errors.New("stats: names/columns mismatch")
+	}
+	for _, c := range cols {
+		if len(c) != n {
+			return nil, errors.New("stats: column length mismatch")
+		}
+	}
+	if n <= k+1 {
+		return nil, fmt.Errorf("stats: need more than %d observations, have %d", k+1, n)
+	}
+
+	// Normal equations (X'X) b = X'y with an intercept column.
+	p := k + 1
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p+1)
+	}
+	at := func(row, col int) float64 {
+		if col == 0 {
+			return 1
+		}
+		return cols[col-1][row]
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			s := 0.0
+			for r := 0; r < n; r++ {
+				s += at(r, i) * at(r, j)
+			}
+			xtx[i][j] = s
+		}
+		s := 0.0
+		for r := 0; r < n; r++ {
+			s += at(r, i) * y[r]
+		}
+		xtx[i][p] = s
+	}
+	inv, b, err := solveWithInverse(xtx, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Residuals and R².
+	meanY := mean(y)
+	ssTot, ssRes := 0.0, 0.0
+	for r := 0; r < n; r++ {
+		pred := b[0]
+		for j := 0; j < k; j++ {
+			pred += b[j+1] * cols[j][r]
+		}
+		ssRes += (y[r] - pred) * (y[r] - pred)
+		ssTot += (y[r] - meanY) * (y[r] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+
+	df := n - p
+	sigma2 := ssRes / float64(df)
+	reg := &Regression{
+		Names:   append([]string(nil), names...),
+		Coef:    b,
+		StdCoef: make([]float64, k),
+		PValues: make([]float64, k),
+		R2:      r2,
+		N:       n,
+		DF:      df,
+	}
+	sdY := stddev(y)
+	for j := 0; j < k; j++ {
+		se := math.Sqrt(sigma2 * inv[j+1][j+1])
+		tStat := math.Inf(1)
+		if se > 0 {
+			tStat = b[j+1] / se
+		}
+		reg.PValues[j] = 2 * (1 - tCDF(math.Abs(tStat), float64(df)))
+		if sdY > 0 {
+			reg.StdCoef[j] = b[j+1] * stddev(cols[j]) / sdY
+		}
+	}
+	return reg, nil
+}
+
+// solveWithInverse Gaussian-eliminates the augmented system [A | b]
+// while also computing A^-1 (needed for coefficient standard errors).
+func solveWithInverse(aug [][]float64, p int) (inv [][]float64, x []float64, err error) {
+	// Build [A | I | b].
+	m := make([][]float64, p)
+	for i := 0; i < p; i++ {
+		m[i] = make([]float64, 2*p+1)
+		copy(m[i][:p], aug[i][:p])
+		m[i][p+i] = 1
+		m[i][2*p] = aug[i][p]
+	}
+	for col := 0; col < p; col++ {
+		piv := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, nil, errors.New("stats: singular design matrix (collinear predictors)")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		d := m[col][col]
+		for c := col; c <= 2*p; c++ {
+			m[col][c] /= d
+		}
+		for r := 0; r < p; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= 2*p; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	inv = make([][]float64, p)
+	x = make([]float64, p)
+	for i := 0; i < p; i++ {
+		inv[i] = m[i][p : 2*p]
+		x[i] = m[i][2*p]
+	}
+	return inv, x, nil
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64) float64 {
+	m := mean(xs)
+	s := 0.0
+	for _, v := range xs {
+		s += (v - m) * (v - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// tCDF returns P(T <= t) for Student's t with df degrees of freedom,
+// t >= 0, via the regularized incomplete beta function.
+func tCDF(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	x := df / (df + t*t)
+	ib := regIncBeta(df/2, 0.5, x)
+	return 1 - 0.5*ib
+}
+
+// regIncBeta computes the regularized incomplete beta function
+// I_x(a, b) using the continued-fraction expansion (Numerical Recipes
+// style, modified Lentz algorithm).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const maxIter = 300
+	const eps = 1e-14
+	const tiny = 1e-30
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// String renders a compact regression report.
+func (r *Regression) String() string {
+	s := fmt.Sprintf("R²=%.3f n=%d df=%d\n", r.R2, r.N, r.DF)
+	for j, name := range r.Names {
+		s += fmt.Sprintf("  %-14s coef=%+.4g std=%+.3f p=%.4g\n",
+			name, r.Coef[j+1], r.StdCoef[j], r.PValues[j])
+	}
+	return s
+}

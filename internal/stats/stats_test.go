@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOLSPerfectFit(t *testing.T) {
+	// y = 2 + 3a - b exactly.
+	n := 50
+	a := make([]float64, n)
+	b := make([]float64, n)
+	y := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		a[i] = rng.Float64() * 10
+		b[i] = rng.Float64() * 5
+		y[i] = 2 + 3*a[i] - b[i]
+	}
+	reg, err := OLS(y, []string{"a", "b"}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reg.R2-1) > 1e-9 {
+		t.Errorf("R² = %f, want 1", reg.R2)
+	}
+	if math.Abs(reg.Coef[0]-2) > 1e-6 || math.Abs(reg.Coef[1]-3) > 1e-6 || math.Abs(reg.Coef[2]+1) > 1e-6 {
+		t.Errorf("coef = %v", reg.Coef)
+	}
+	for j, p := range reg.PValues {
+		if p > 1e-6 {
+			t.Errorf("p[%d] = %g, want ~0 for exact relationship", j, p)
+		}
+	}
+}
+
+func TestOLSNoisyFitSignificance(t *testing.T) {
+	// y depends strongly on a, not at all on b (noise): a must be
+	// significant, b must not be.
+	n := 200
+	a := make([]float64, n)
+	b := make([]float64, n)
+	y := make([]float64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		a[i] = rng.Float64() * 10
+		b[i] = rng.Float64() * 10
+		y[i] = 5 + 4*a[i] + rng.NormFloat64()
+	}
+	reg, err := OLS(y, []string{"a", "b"}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.PValues[0] > 0.001 {
+		t.Errorf("p(a) = %g, want significant", reg.PValues[0])
+	}
+	if reg.PValues[1] < 0.01 {
+		t.Errorf("p(b) = %g, want insignificant", reg.PValues[1])
+	}
+	if reg.R2 < 0.9 {
+		t.Errorf("R² = %f", reg.R2)
+	}
+	// Standardized coefficient of a dominates.
+	if math.Abs(reg.StdCoef[0]) < 10*math.Abs(reg.StdCoef[1]) {
+		t.Errorf("std coefs = %v", reg.StdCoef)
+	}
+}
+
+func TestOLSStandardizedSigns(t *testing.T) {
+	// Negative relationship yields a negative standardized coefficient
+	// (the paper's branch-miss sign discussion).
+	n := 100
+	a := make([]float64, n)
+	y := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		a[i] = rng.Float64()
+		y[i] = 10 - 3*a[i] + 0.01*rng.NormFloat64()
+	}
+	reg, err := OLS(y, []string{"a"}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.StdCoef[0] >= 0 {
+		t.Errorf("std coef = %f, want negative", reg.StdCoef[0])
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS([]float64{1, 2, 3}, nil); err == nil {
+		t.Error("no predictors should error")
+	}
+	if _, err := OLS([]float64{1, 2, 3}, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := OLS([]float64{1, 2}, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("too few observations should error")
+	}
+	// Collinear predictors.
+	a := []float64{1, 2, 3, 4, 5, 6}
+	b := []float64{2, 4, 6, 8, 10, 12}
+	y := []float64{1, 2, 3, 4, 5, 6}
+	if _, err := OLS(y, []string{"a", "b"}, a, b); err == nil {
+		t.Error("collinear predictors should error")
+	}
+	if _, err := OLS([]float64{1, 2, 3}, []string{"a", "b"}, []float64{1, 2, 3}, []float64{3, 2, 1}); err == nil {
+		t.Error("n <= k+1 should error")
+	}
+}
+
+func TestTCDF(t *testing.T) {
+	// Reference values: t-distribution with 10 df, P(T <= 1.812) ≈ 0.95.
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 10, 0.5},
+		{1.812, 10, 0.95},
+		{2.228, 10, 0.975},
+		{2.764, 10, 0.99},
+		{1.96, 1e6, 0.975}, // approaches the normal
+	}
+	for _, tc := range cases {
+		if got := tCDF(tc.t, tc.df); math.Abs(got-tc.want) > 0.002 {
+			t.Errorf("tCDF(%f, %f) = %f, want %f", tc.t, tc.df, got, tc.want)
+		}
+	}
+	if got := tCDF(math.Inf(1), 5); got != 1 {
+		t.Errorf("tCDF(inf) = %f", got)
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%f(1,1) = %f", x, got)
+		}
+	}
+	// I_x(2,2) = x²(3-2x).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		want := x * x * (3 - 2*x)
+		if got := regIncBeta(2, 2, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("I_%f(2,2) = %f, want %f", x, got, want)
+		}
+	}
+}
+
+func TestRegressionString(t *testing.T) {
+	y := []float64{1, 2, 3, 4, 5, 6}
+	a := []float64{1, 2, 3, 4, 5, 7}
+	reg, err := OLS(y, []string{"a"}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.String() == "" {
+		t.Error("empty report")
+	}
+}
