@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: tier1 vet bench race serve
+
+# tier1 is the verify recipe: everything must build and every test pass.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the root benchmark subset exercising the serving layer.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkGetBatch|BenchmarkServeSharded|BenchmarkTable2' -benchtime 200000x .
+
+# race runs the concurrency-sensitive packages under the race detector.
+race:
+	$(GO) test -race ./internal/serve/ ./internal/table/
+
+# serve prints the serving-layer experiment at a quick scale.
+serve:
+	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve

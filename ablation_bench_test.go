@@ -8,10 +8,10 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/pgm"
+	"repro/internal/registry"
 	"repro/internal/rmi"
 	"repro/internal/rs"
 	"repro/internal/search"
@@ -128,7 +128,7 @@ func BenchmarkAblationLastMileCrossover(b *testing.B) {
 // size but adds one binary-search step.
 func BenchmarkAblationSubsetStride(b *testing.B) {
 	e := benchEnv(b, dataset.Wiki)
-	for _, nb := range bench.Sweep("BTree", e.Keys) {
+	for _, nb := range registry.Sweep("BTree", e.Keys) {
 		idx, err := nb.Builder.Build(e.Keys)
 		if err != nil {
 			b.Fatal(err)

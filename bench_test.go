@@ -16,7 +16,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/perfsim"
+	"repro/internal/registry"
 	"repro/internal/search"
+	"repro/internal/serve"
 )
 
 // benchN is the dataset scale for the root benchmarks; the CLI scales
@@ -40,11 +42,11 @@ func benchEnv(b *testing.B, name dataset.Name) *bench.Env {
 }
 
 // pick thins a sweep to at most k configurations (keeping extremes).
-func pick(sweep []bench.NamedBuilder, k int) []bench.NamedBuilder {
+func pick(sweep []registry.NamedBuilder, k int) []registry.NamedBuilder {
 	if len(sweep) <= k {
 		return sweep
 	}
-	out := make([]bench.NamedBuilder, 0, k)
+	out := make([]registry.NamedBuilder, 0, k)
 	for i := 0; i < k; i++ {
 		out = append(out, sweep[i*(len(sweep)-1)/(k-1)])
 	}
@@ -88,8 +90,8 @@ func BenchmarkFig6_DatasetCDFs(b *testing.B) {
 func BenchmarkFig7_Pareto(b *testing.B) {
 	for _, name := range dataset.All() {
 		e := benchEnv(b, name)
-		for _, family := range bench.ParetoFamilies {
-			for _, nb := range pick(bench.Sweep(family, e.Keys), 3) {
+		for _, family := range registry.ParetoFamilies {
+			for _, nb := range pick(registry.Sweep(family, e.Keys), 3) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					b.Fatal(err)
@@ -100,7 +102,7 @@ func BenchmarkFig7_Pareto(b *testing.B) {
 			}
 		}
 		b.Run(fmt.Sprintf("%s/BS", name), func(b *testing.B) {
-			idx, _ := bench.Sweep("BS", e.Keys)[0].Builder.Build(e.Keys)
+			idx, _ := registry.Sweep("BS", e.Keys)[0].Builder.Build(e.Keys)
 			lookupLoop(b, e, idx, search.BinarySearch)
 		})
 	}
@@ -111,8 +113,8 @@ func BenchmarkFig7_Pareto(b *testing.B) {
 func BenchmarkFig8_StringStructures(b *testing.B) {
 	for _, name := range []dataset.Name{dataset.Amzn, dataset.Face} {
 		e := benchEnv(b, name)
-		for _, family := range bench.StringFamilies {
-			for _, nb := range pick(bench.Sweep(family, e.Keys), 2) {
+		for _, family := range registry.StringFamilies {
+			for _, nb := range pick(registry.Sweep(family, e.Keys), 2) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					b.Fatal(err)
@@ -129,7 +131,7 @@ func BenchmarkFig8_StringStructures(b *testing.B) {
 // each structure plus the hash tables on amzn.
 func BenchmarkTable2_FastestVariants(b *testing.B) {
 	e := benchEnv(b, dataset.Amzn)
-	for _, family := range bench.Table2Families {
+	for _, family := range registry.Table2Families {
 		nb, idx, _ := bench.BestVariant(e, family, func(e *bench.Env, idx core.Index) float64 {
 			return bench.MeasureWarm(e, idx, search.BinarySearch).NsPerLookup
 		})
@@ -151,7 +153,7 @@ func BenchmarkFig9_DatasetSizes(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, family := range []string{"RMI", "PGM", "RS", "BTree"} {
-			nb := pick(bench.Sweep(family, e.Keys), 3)[1]
+			nb := pick(registry.Sweep(family, e.Keys), 3)[1]
 			idx, err := nb.Builder.Build(e.Keys)
 			if err != nil {
 				b.Fatal(err)
@@ -180,7 +182,7 @@ func BenchmarkFig10_KeySize(b *testing.B) {
 			if bits == "32" {
 				e = e32
 			}
-			nb := pick(bench.Sweep(family, e.Keys), 3)[1]
+			nb := pick(registry.Sweep(family, e.Keys), 3)[1]
 			idx, err := nb.Builder.Build(e.Keys)
 			if err != nil {
 				b.Fatal(err)
@@ -198,7 +200,7 @@ func BenchmarkFig11_SearchFunctions(b *testing.B) {
 	for _, name := range []dataset.Name{dataset.Amzn, dataset.OSM} {
 		e := benchEnv(b, name)
 		for _, family := range []string{"RMI", "PGM", "RS"} {
-			nb := pick(bench.Sweep(family, e.Keys), 3)[1]
+			nb := pick(registry.Sweep(family, e.Keys), 3)[1]
 			idx, err := nb.Builder.Build(e.Keys)
 			if err != nil {
 				b.Fatal(err)
@@ -246,7 +248,7 @@ func BenchmarkFig12_Metrics(b *testing.B) {
 func BenchmarkFig14_ColdCache(b *testing.B) {
 	e := benchEnv(b, dataset.Amzn)
 	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
-		nb := pick(bench.Sweep(family, e.Keys), 3)[1]
+		nb := pick(registry.Sweep(family, e.Keys), 3)[1]
 		idx, err := nb.Builder.Build(e.Keys)
 		if err != nil {
 			b.Fatal(err)
@@ -264,7 +266,7 @@ func BenchmarkFig14_ColdCache(b *testing.B) {
 func BenchmarkFig15_Fence(b *testing.B) {
 	e := benchEnv(b, dataset.Amzn)
 	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
-		nb := pick(bench.Sweep(family, e.Keys), 3)[1]
+		nb := pick(registry.Sweep(family, e.Keys), 3)[1]
 		idx, err := nb.Builder.Build(e.Keys)
 		if err != nil {
 			b.Fatal(err)
@@ -293,7 +295,7 @@ func BenchmarkFig15_Fence(b *testing.B) {
 func BenchmarkFig16a_Threads(b *testing.B) {
 	e := benchEnv(b, dataset.Amzn)
 	for _, family := range []string{"RMI", "PGM", "RS", "RBS", "BTree", "RobinHash"} {
-		sweep := bench.Sweep(family, e.Keys)
+		sweep := registry.Sweep(family, e.Keys)
 		nb := sweep[len(sweep)/2]
 		idx, err := nb.Builder.Build(e.Keys)
 		if err != nil {
@@ -321,7 +323,7 @@ func BenchmarkFig16a_Threads(b *testing.B) {
 func BenchmarkFig16c_CacheMissRate(b *testing.B) {
 	rows, err := bench.CollectCountersMid(
 		bench.Options{N: 50_000, Lookups: 5_000, Seed: 42},
-		dataset.Amzn, bench.Fig16Families)
+		dataset.Amzn, registry.Fig16Families)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -341,7 +343,7 @@ func BenchmarkFig17_BuildTimes(b *testing.B) {
 	e := benchEnv(b, dataset.Amzn)
 	families := []string{"PGM", "RS", "RMI", "RBS", "ART", "BTree", "IBTree", "FAST", "FST", "Wormhole", "RobinHash"}
 	for _, family := range families {
-		sweep := bench.Sweep(family, e.Keys)
+		sweep := registry.Sweep(family, e.Keys)
 		nb := sweep[len(sweep)-1] // largest (fastest-lookup) variant
 		b.Run(fmt.Sprintf("%s/%s", family, nb.Label), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -350,6 +352,110 @@ func BenchmarkFig17_BuildTimes(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// serveN sizes the serving-layer benchmarks: 1M keys (8 MB of keys +
+// 8 MB of payloads) so the data array exceeds mid-level caches and the
+// batched path's overlapped memory accesses have misses to hide.
+const serveN = 1_000_000
+
+var serveEnvCache *bench.Env
+
+func serveEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	if serveEnvCache == nil {
+		e, err := bench.NewEnv(dataset.Amzn, serveN, 100_000, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serveEnvCache = e
+	}
+	return serveEnvCache
+}
+
+// serveBenchFamilies is the family set of the serving benchmarks: two
+// learned indexes with a vectorized bound path plus the tree baseline,
+// on the books-style amzn dataset.
+var serveBenchFamilies = []string{"RMI", "PGM", "BTree"}
+
+// BenchmarkGetBatch compares the per-key Table.Get loop against the
+// batched GetBatch fast path. ns/op is per lookup in both cases.
+func BenchmarkGetBatch(b *testing.B) {
+	e := serveEnv(b)
+	for _, family := range serveBenchFamilies {
+		nb, ok := registry.Builder(family, e.Keys)
+		if !ok {
+			b.Fatalf("no builder for %s", family)
+		}
+		idx, err := nb.Builder.Build(e.Keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := e.Table(idx, search.BinarySearch)
+		b.Run(fmt.Sprintf("%s/perkey", family), func(b *testing.B) {
+			var sum uint64
+			for i := 0; i < b.N; i++ {
+				v, _ := t.Get(e.Lookups[i%len(e.Lookups)])
+				sum += v
+			}
+			_ = sum
+		})
+		b.Run(fmt.Sprintf("%s/batch%d", family, bench.ServeBatchSize), func(b *testing.B) {
+			out := make([]uint64, bench.ServeBatchSize)
+			n := len(e.Lookups)
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				lo := done % n
+				hi := lo + bench.ServeBatchSize
+				if hi > n {
+					hi = n
+				}
+				if rem := b.N - done; hi-lo > rem {
+					hi = lo + rem
+				}
+				chunk := e.Lookups[lo:hi]
+				t.GetBatch(chunk, out[:len(chunk)])
+				done += len(chunk)
+			}
+		})
+	}
+}
+
+// BenchmarkServeSharded measures sharded-store batch throughput with
+// parallel clients (ns/op is per lookup, aggregated over clients).
+func BenchmarkServeSharded(b *testing.B) {
+	e := serveEnv(b)
+	for _, family := range serveBenchFamilies {
+		for _, shards := range []int{1, 4, 8} {
+			st, err := serve.New(e.Keys, e.Payloads, serve.Config{Shards: shards, Family: family})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/shards=%d", family, st.NumShards()), func(b *testing.B) {
+				b.ReportMetric(bench.MB(st.SizeBytes()), "MB")
+				b.RunParallel(func(pb *testing.PB) {
+					out := make([]uint64, bench.ServeBatchSize)
+					chunk := make([]core.Key, 0, bench.ServeBatchSize)
+					i := 0
+					for {
+						chunk = chunk[:0]
+						for len(chunk) < bench.ServeBatchSize && pb.Next() {
+							chunk = append(chunk, e.Lookups[i%len(e.Lookups)])
+							i++
+						}
+						if len(chunk) == 0 {
+							return
+						}
+						st.GetBatch(chunk, out[:len(chunk)])
+						if len(chunk) < bench.ServeBatchSize {
+							return
+						}
+					}
+				})
+			})
+			st.Close()
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dataset"
+	"repro/internal/registry"
 	"repro/internal/search"
 )
 
@@ -31,8 +32,8 @@ func main() {
 	}
 
 	var pts []point
-	for _, family := range bench.ParetoFamilies {
-		for _, nb := range bench.Sweep(family, env.Keys) {
+	for _, family := range registry.ParetoFamilies {
+		for _, nb := range registry.Sweep(family, env.Keys) {
 			idx, err := nb.Builder.Build(env.Keys)
 			if err != nil {
 				continue

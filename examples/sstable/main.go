@@ -3,9 +3,10 @@
 // "moving towards immutable read-only data structures").
 //
 // This example models one immutable sorted run of key/value pairs and
-// serves point reads and short range scans through three interchangeable
-// indexes — a learned RMI, a PGM index, and a B+tree — comparing their
-// footprints on the same data.
+// serves point reads, short range scans, and batched reads through the
+// table layer with three interchangeable indexes — a learned RMI, a
+// PGM index, and a B+tree — comparing their footprints on the same
+// data.
 package main
 
 import (
@@ -18,37 +19,8 @@ import (
 	"repro/internal/pgm"
 	"repro/internal/rmi"
 	"repro/internal/search"
+	"repro/internal/table"
 )
-
-// sstable is an immutable sorted run with a pluggable index.
-type sstable struct {
-	keys     []core.Key
-	values   []uint64
-	index    core.Index
-	idxBuild string
-}
-
-// get returns the value for key, or false when absent.
-func (s *sstable) get(key core.Key) (uint64, bool) {
-	b := s.index.Lookup(key)
-	pos := search.BinarySearch(s.keys, key, b)
-	if pos < len(s.keys) && s.keys[pos] == key {
-		return s.values[pos], true
-	}
-	return 0, false
-}
-
-// scan sums the values of all keys in [lo, hi).
-func (s *sstable) scan(lo, hi core.Key) (sum uint64, count int) {
-	b := s.index.Lookup(lo)
-	pos := search.BinarySearch(s.keys, lo, b)
-	for pos < len(s.keys) && s.keys[pos] < hi {
-		sum += s.values[pos]
-		count++
-		pos++
-	}
-	return sum, count
-}
 
 func main() {
 	const n = 500_000
@@ -72,23 +44,39 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		run := &sstable{keys: keys, values: values, index: idx, idxBuild: b.name}
+		run, err := table.New(keys, values, idx, search.BinarySearch)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		// Point reads of present and absent keys.
-		hit, ok := run.get(keys[n/3])
+		hit, ok := run.Get(keys[n/3])
 		if !ok {
 			log.Fatalf("%s: present key missing", b.name)
 		}
-		if _, ok := run.get(keys[n/3] + 1); ok {
+		if _, ok := run.Get(keys[n/3] + 1); ok {
 			log.Fatalf("%s: absent key found", b.name)
 		}
 
 		// A short range scan, e.g. "all edits in a 10-minute window".
 		lo := keys[n/2]
 		hi := lo + 600_000 // 600s at millisecond resolution
-		sum, count := run.scan(lo, hi)
+		var sum uint64
+		count := run.Scan(lo, hi, func(_ core.Key, v uint64) bool {
+			sum += v
+			return true
+		})
 
-		fmt.Printf("%-6s index %8.1f KiB: point read=%#x, scan[%d keys] sum=%#x\n",
-			b.name, float64(idx.SizeBytes())/1024, hit, count, sum)
+		// A batched multi-get, as issued by an LSM read path that
+		// collected one fetch list across memtable misses.
+		batch := make([]core.Key, 0, 64)
+		for i := 0; i < 64; i++ {
+			batch = append(batch, keys[(n/64)*i])
+		}
+		got := make([]uint64, len(batch))
+		foundInBatch := run.GetBatch(batch, got)
+
+		fmt.Printf("%-6s index %8.1f KiB: point read=%#x, scan[%d keys] sum=%#x, batch %d/%d hits\n",
+			b.name, float64(run.SizeBytes())/1024, hit, count, sum, foundInBatch, len(batch))
 	}
 }

@@ -14,7 +14,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/registry"
 	"repro/internal/search"
+	"repro/internal/table"
 )
 
 // Env bundles a dataset with its lookup workload and payloads.
@@ -253,5 +255,68 @@ func MaxThreads() []int {
 
 // MB renders a byte count as megabytes.
 func MB(bytes int) float64 { return float64(bytes) / (1 << 20) }
+
+// BestVariant builds every configuration of a family and returns the
+// one with the lowest warm lookup time (the paper's "fastest variant").
+func BestVariant(e *Env, family string, fn func(*Env, core.Index) float64) (registry.NamedBuilder, core.Index, float64) {
+	var bestNB registry.NamedBuilder
+	var bestIdx core.Index
+	best := -1.0
+	for _, nb := range registry.Sweep(family, e.Keys) {
+		idx, err := nb.Builder.Build(e.Keys)
+		if err != nil {
+			continue
+		}
+		v := fn(e, idx)
+		if best < 0 || v < best {
+			best, bestIdx, bestNB = v, idx, nb
+		}
+	}
+	return bestNB, bestIdx, best
+}
+
+// Table wraps the environment's data and a built index into a serving
+// Table, the unit measured by the batched regime.
+func (e *Env) Table(idx core.Index, fn search.Fn) *table.Table {
+	t, err := table.New(e.Keys, e.Payloads, idx, fn)
+	if err != nil {
+		panic(err) // Env invariants (sorted keys, len match) rule this out
+	}
+	return t
+}
+
+// MeasureWarmBatch times the batched serving regime: the lookup
+// workload is driven through Table.GetBatch in fixed-size batches,
+// amortizing bound computation and last-mile search. Comparable to
+// MeasureWarm on the same environment and index.
+func MeasureWarmBatch(e *Env, t *table.Table, batch int) Measurement {
+	if batch < 1 {
+		batch = ServeBatchSize
+	}
+	run := func() uint64 {
+		var sum uint64
+		out := make([]uint64, batch)
+		for i := 0; i < len(e.Lookups); i += batch {
+			end := i + batch
+			if end > len(e.Lookups) {
+				end = len(e.Lookups)
+			}
+			chunk := e.Lookups[i:end]
+			t.GetBatch(chunk, out[:len(chunk)])
+			for _, v := range out[:len(chunk)] {
+				sum += v
+			}
+		}
+		return sum
+	}
+	run() // warm up
+	start := time.Now()
+	sum := run()
+	elapsed := time.Since(start)
+	return Measurement{
+		NsPerLookup: float64(elapsed.Nanoseconds()) / float64(len(e.Lookups)),
+		Checksum:    sum,
+	}
+}
 
 var _ = fmt.Sprintf // fmt is used by the experiment printers in this package

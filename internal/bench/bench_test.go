@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/registry"
 	"repro/internal/search"
 )
 
@@ -39,9 +40,9 @@ func TestMeasureWarmAllFamilies(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := e.Checksum()
-	families := append(append([]string{}, ParetoFamilies...), "FST", "Wormhole", "RobinHash", "CuckooMap", "BS")
+	families := append(append([]string{}, registry.ParetoFamilies...), "FST", "Wormhole", "RobinHash", "CuckooMap", "BS")
 	for _, family := range families {
-		sweep := Sweep(family, e.Keys)
+		sweep := registry.Sweep(family, e.Keys)
 		if len(sweep) == 0 {
 			t.Fatalf("no sweep for %s", family)
 		}
@@ -88,7 +89,7 @@ func TestBestVariant(t *testing.T) {
 	if idx == nil || nb.Label == "" {
 		t.Fatal("no variant selected")
 	}
-	for _, other := range Sweep("PGM", e.Keys) {
+	for _, other := range registry.Sweep("PGM", e.Keys) {
 		oi, err := other.Builder.Build(e.Keys)
 		if err != nil {
 			t.Fatal(err)
@@ -143,8 +144,8 @@ func TestSweepSpansSizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, family := range ParetoFamilies {
-		sweep := Sweep(family, e.Keys)
+	for _, family := range registry.ParetoFamilies {
+		sweep := registry.Sweep(family, e.Keys)
 		first, err := sweep[0].Builder.Build(e.Keys)
 		if err != nil {
 			t.Fatalf("%s: %v", family, err)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/perfsim"
 	"repro/internal/pgm"
 	"repro/internal/rbs"
+	"repro/internal/registry"
 	"repro/internal/rmi"
 	"repro/internal/rs"
 	"repro/internal/search"
@@ -108,8 +109,8 @@ func Fig7(w io.Writer, o Options) error {
 		bs := MeasureWarm(e, mustBS(e), search.BinarySearch)
 		fmt.Fprintf(w, "%-6s %-8s %-24s %12.4f %12.1f   <- baseline (size 0)\n",
 			name, "BS", "", 0.0, bs.NsPerLookup)
-		for _, family := range ParetoFamilies {
-			for _, nb := range Sweep(family, e.Keys) {
+		for _, family := range registry.ParetoFamilies {
+			for _, nb := range registry.Sweep(family, e.Keys) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					continue
@@ -136,8 +137,8 @@ func Fig8(w io.Writer, o Options) error {
 		}
 		bs := MeasureWarm(e, mustBS(e), search.BinarySearch)
 		fmt.Fprintf(w, "%-6s %-9s %-24s %12.4f %12.1f   <- baseline\n", name, "BS", "", 0.0, bs.NsPerLookup)
-		for _, family := range StringFamilies {
-			for _, nb := range Sweep(family, e.Keys) {
+		for _, family := range registry.StringFamilies {
+			for _, nb := range registry.Sweep(family, e.Keys) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					continue
@@ -161,7 +162,7 @@ func Table2(w io.Writer, o Options) error {
 	}
 	fmt.Fprintln(w, "Table 2: fastest variant of each index vs hashing (amzn)")
 	fmt.Fprintf(w, "%-10s %12s %12s   %s\n", "Method", "ns/lookup", "size(MB)", "config")
-	for _, family := range Table2Families {
+	for _, family := range registry.Table2Families {
 		nb, idx, ns := BestVariant(e, family, func(e *Env, idx core.Index) float64 {
 			return MeasureWarm(e, idx, search.BinarySearch).NsPerLookup
 		})
@@ -184,7 +185,7 @@ func Fig9(w io.Writer, o Options) error {
 			return err
 		}
 		for _, family := range []string{"RMI", "PGM", "RS", "BTree"} {
-			for _, nb := range Sweep(family, e.Keys) {
+			for _, nb := range registry.Sweep(family, e.Keys) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					continue
@@ -220,7 +221,7 @@ func Fig10(w io.Writer, o Options) error {
 	fmt.Fprintln(w, "Figure 10: 32-bit vs 64-bit keys (amzn)")
 	fmt.Fprintf(w, "%-8s %-6s %-24s %12s %12s\n", "index", "bits", "config", "size(MB)", "ns/lookup")
 	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
-		for _, nb := range Sweep(family, e64.Keys) {
+		for _, nb := range registry.Sweep(family, e64.Keys) {
 			idx, err := nb.Builder.Build(e64.Keys)
 			if err != nil {
 				continue
@@ -228,7 +229,7 @@ func Fig10(w io.Writer, o Options) error {
 			m := MeasureWarm(e64, idx, search.BinarySearch)
 			fmt.Fprintf(w, "%-8s %-6s %-24s %12.4f %12.1f\n", family, "64", nb.Label, MB(idx.SizeBytes()), m.NsPerLookup)
 		}
-		for _, nb := range Sweep(family, e32.Keys) {
+		for _, nb := range registry.Sweep(family, e32.Keys) {
 			idx, err := nb.Builder.Build(e32.Keys)
 			if err != nil {
 				continue
@@ -330,7 +331,7 @@ func Fig11(w io.Writer, o Options) error {
 			return err
 		}
 		for _, family := range []string{"RMI", "PGM", "RS", "RBS"} {
-			for _, nb := range Sweep(family, e.Keys) {
+			for _, nb := range registry.Sweep(family, e.Keys) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					continue
@@ -370,7 +371,7 @@ func CollectCounters(o Options, name dataset.Name, families []string) ([]Counter
 	}
 	var rows []CounterRow
 	for _, family := range families {
-		for _, nb := range Sweep(family, e.Keys) {
+		for _, nb := range registry.Sweep(family, e.Keys) {
 			idx, err := nb.Builder.Build(e.Keys)
 			if err != nil {
 				continue
@@ -449,9 +450,6 @@ func traceFor(family string, idx core.Index, e *Env) (perfsim.Traced, *perfsim.M
 	return nil, nil
 }
 
-// Fig12Families is the structure set of Figure 12.
-var Fig12Families = []string{"RMI", "PGM", "RS", "BTree", "ART"}
-
 // Fig12 prints lookup time against each candidate explanatory metric
 // (Figure 12) for amzn and osm.
 func Fig12(w io.Writer, o Options) error {
@@ -459,7 +457,7 @@ func Fig12(w io.Writer, o Options) error {
 	fmt.Fprintf(w, "%-6s %-8s %-24s %10s %8s %10s %10s %10s %10s\n",
 		"data", "index", "config", "size(MB)", "log2err", "ns/lookup", "c-miss", "br-miss", "instr")
 	for _, name := range []dataset.Name{dataset.Amzn, dataset.OSM} {
-		rows, err := CollectCounters(o, name, Fig12Families)
+		rows, err := CollectCounters(o, name, registry.Fig12Families)
 		if err != nil {
 			return err
 		}
@@ -503,7 +501,7 @@ func Regress(w io.Writer, o Options) error {
 	}
 	var rows []CounterRow
 	for _, name := range dataset.All() {
-		r, err := CollectCounters(o, name, Fig12Families)
+		r, err := CollectCounters(o, name, registry.Fig12Families)
 		if err != nil {
 			return err
 		}
@@ -551,7 +549,7 @@ func Fig13(w io.Writer, o Options) error {
 			return err
 		}
 		for _, family := range []string{"RS", "RMI", "PGM", "BTree"} {
-			for _, nb := range Sweep(family, e.Keys) {
+			for _, nb := range registry.Sweep(family, e.Keys) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					continue
@@ -578,7 +576,7 @@ func Fig14(w io.Writer, o Options) error {
 	fmt.Fprintln(w, "Figure 14: warm vs cold cache (amzn)")
 	fmt.Fprintf(w, "%-8s %-24s %12s %12s %12s\n", "index", "config", "size(MB)", "warm(ns)", "cold(ns)")
 	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
-		for _, nb := range Sweep(family, e.Keys) {
+		for _, nb := range registry.Sweep(family, e.Keys) {
 			idx, err := nb.Builder.Build(e.Keys)
 			if err != nil {
 				continue
@@ -602,7 +600,7 @@ func Fig15(w io.Writer, o Options) error {
 	fmt.Fprintln(w, "Figure 15: serialized (\"fenced\") vs pipelined lookups (amzn)")
 	fmt.Fprintf(w, "%-8s %-24s %12s %12s %12s\n", "index", "config", "size(MB)", "no-fence", "fence")
 	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
-		for _, nb := range Sweep(family, e.Keys) {
+		for _, nb := range registry.Sweep(family, e.Keys) {
 			idx, err := nb.Builder.Build(e.Keys)
 			if err != nil {
 				continue
@@ -616,9 +614,6 @@ func Fig15(w io.Writer, o Options) error {
 	return nil
 }
 
-// Fig16Families is the structure set of Figure 16.
-var Fig16Families = []string{"RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree", "FAST", "RobinHash"}
-
 // Fig16a prints multithreaded throughput against thread count, with
 // and without the serialized loop, at a mid-size configuration.
 func Fig16a(w io.Writer, o Options) error {
@@ -629,7 +624,7 @@ func Fig16a(w io.Writer, o Options) error {
 	}
 	fmt.Fprintln(w, "Figure 16a: threads vs throughput (amzn, mid-size configs)")
 	fmt.Fprintf(w, "%-10s %-8s %16s %16s\n", "index", "threads", "Mlookups/s", "Mlookups/s(fence)")
-	for _, family := range Fig16Families {
+	for _, family := range registry.Fig16Families {
 		idx := midVariant(e, family)
 		if idx == nil {
 			continue
@@ -647,7 +642,7 @@ func Fig16a(w io.Writer, o Options) error {
 // midVariant picks the middle configuration of a family's sweep (the
 // paper fixes ~50MB models for Figure 16a).
 func midVariant(e *Env, family string) core.Index {
-	sweep := Sweep(family, e.Keys)
+	sweep := registry.Sweep(family, e.Keys)
 	if len(sweep) == 0 {
 		return nil
 	}
@@ -671,7 +666,7 @@ func Fig16b(w io.Writer, o Options) error {
 	fmt.Fprintln(w, "Figure 16b: size vs throughput at max threads (amzn)")
 	fmt.Fprintf(w, "%-10s %-24s %12s %16s\n", "index", "config", "size(MB)", "Mlookups/s")
 	for _, family := range []string{"RMI", "PGM", "RS", "BTree", "ART"} {
-		for _, nb := range Sweep(family, e.Keys) {
+		for _, nb := range registry.Sweep(family, e.Keys) {
 			idx, err := nb.Builder.Build(e.Keys)
 			if err != nil {
 				continue
@@ -690,7 +685,7 @@ func Fig16b(w io.Writer, o Options) error {
 func Fig16c(w io.Writer, o Options) error {
 	fmt.Fprintln(w, "Figure 16c: cache misses per lookup per second (simulated misses / measured ns)")
 	fmt.Fprintf(w, "%-10s %12s %12s %16s\n", "index", "c-miss/op", "ns/lookup", "miss/op/s (M)")
-	rows, err := CollectCountersMid(o, dataset.Amzn, Fig16Families)
+	rows, err := CollectCountersMid(o, dataset.Amzn, registry.Fig16Families)
 	if err != nil {
 		return err
 	}
@@ -711,7 +706,7 @@ func CollectCountersMid(o Options, name dataset.Name, families []string) ([]Coun
 	}
 	var rows []CounterRow
 	for _, family := range families {
-		sweep := Sweep(family, e.Keys)
+		sweep := registry.Sweep(family, e.Keys)
 		if len(sweep) == 0 {
 			continue
 		}

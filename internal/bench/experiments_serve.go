@@ -1,0 +1,116 @@
+package bench
+
+// The serving-layer experiment: not a figure from the paper, but the
+// end-to-end scenario the ROADMAP grows toward — full key→payload
+// lookups through the table layer, batched, and sharded across cores.
+// It quantifies what each serving-layer mechanism buys on top of the
+// paper's bare bound-prediction microbenchmarks.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/registry"
+	"repro/internal/search"
+	"repro/internal/serve"
+)
+
+// ServeBatchSize is the default lookup batch size of the serving
+// experiments: large enough to amortize the per-batch passes, small
+// enough to be a realistic request size.
+const ServeBatchSize = 256
+
+// MeasureServeThroughput drives clients goroutines, each pushing the
+// environment's lookup workload through st.GetBatch in batches of
+// batch keys; the result is aggregate lookups per second.
+func MeasureServeThroughput(e *Env, st *serve.Store, clients, batch int) float64 {
+	if clients < 1 {
+		clients = 1
+	}
+	if batch < 1 {
+		batch = ServeBatchSize
+	}
+	run := func(tid int) {
+		out := make([]uint64, batch)
+		n := len(e.Lookups)
+		off := (tid * 7919) % n // stagger clients across the workload
+		for done := 0; done < n; {
+			lo := (off + done) % n
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			chunk := e.Lookups[lo:hi]
+			st.GetBatch(chunk, out[:len(chunk)])
+			done += len(chunk)
+		}
+	}
+	run(0) // warm caches and fault pages before timing
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < clients; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			run(tid)
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(clients*len(e.Lookups)) / elapsed
+}
+
+// ServeSweep prints the serving-layer experiment: per-key vs batched
+// table lookups per family, then sharded-store throughput across shard
+// counts and client counts.
+func ServeSweep(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	e, err := o.env(dataset.Amzn)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Serving layer: Table batched lookups (amzn, mid-sweep configs)")
+	fmt.Fprintf(w, "%-8s %12s %12s %9s\n", "index", "per-key(ns)", "batched(ns)", "speedup")
+	for _, family := range registry.ServeFamilies {
+		nb, ok := registry.Builder(family, e.Keys)
+		if !ok {
+			continue
+		}
+		idx, err := nb.Builder.Build(e.Keys)
+		if err != nil {
+			continue
+		}
+		t := e.Table(idx, search.BinarySearch)
+		perKey := MeasureWarm(e, idx, search.BinarySearch)
+		batched := MeasureWarmBatch(e, t, ServeBatchSize)
+		if batched.Checksum != perKey.Checksum {
+			return fmt.Errorf("serve: %s batched checksum mismatch", family)
+		}
+		fmt.Fprintf(w, "%-8s %12.1f %12.1f %8.2fx\n",
+			family, perKey.NsPerLookup, batched.NsPerLookup,
+			perKey.NsPerLookup/batched.NsPerLookup)
+	}
+
+	fmt.Fprintln(w, "\nSharded store: concurrent GetBatch throughput (amzn)")
+	fmt.Fprintf(w, "%-8s %-7s %-8s %16s\n", "index", "shards", "clients", "Mlookups/s")
+	for _, family := range registry.ServeFamilies {
+		for _, shards := range []int{1, 4, 8} {
+			st, err := serve.New(e.Keys, e.Payloads, serve.Config{
+				Shards: shards, Family: family,
+			})
+			if err != nil {
+				return err
+			}
+			for _, clients := range []int{1, 4, 8} {
+				tp := MeasureServeThroughput(e, st, clients, ServeBatchSize)
+				fmt.Fprintf(w, "%-8s %-7d %-8d %16.2f\n", family, st.NumShards(), clients, tp/1e6)
+			}
+			st.Close()
+		}
+	}
+	return nil
+}

@@ -64,6 +64,33 @@ type Index interface {
 	Name() string
 }
 
+// BatchIndex is an optional extension of Index for structures that can
+// amortize bound prediction over a batch of lookup keys (model
+// evaluation without per-key interface dispatch, table loads batched
+// for the hardware prefetcher). The serving layer uses it when
+// available; LookupBatch provides the generic fallback.
+type BatchIndex interface {
+	Index
+
+	// LookupBatch fills out[i] with a valid search bound for keys[i].
+	// len(out) must be >= len(keys). Each bound satisfies the same
+	// contract as Lookup.
+	LookupBatch(keys []Key, out []Bound)
+}
+
+// LookupBatch computes search bounds for a batch of keys, using the
+// index's vectorized path when it implements BatchIndex and a scalar
+// loop otherwise.
+func LookupBatch(idx Index, keys []Key, out []Bound) {
+	if bi, ok := idx.(BatchIndex); ok {
+		bi.LookupBatch(keys, out)
+		return
+	}
+	for i, x := range keys {
+		out[i] = idx.Lookup(x)
+	}
+}
+
 // Builder constructs an index over a sorted key array. Builders carry
 // the structure's tuning configuration (error bounds, branching factors,
 // subset-insertion stride, ...), so one Builder value corresponds to one

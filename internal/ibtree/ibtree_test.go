@@ -1,0 +1,60 @@
+package ibtree
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/indextest"
+)
+
+// TestValidityAcrossStrides runs the shared conformance probe over the
+// interpolating B+tree at every sweep stride, on smooth and skewed
+// data (interpolation error is distribution-dependent).
+func TestValidityAcrossStrides(t *testing.T) {
+	for _, name := range []dataset.Name{dataset.Amzn, dataset.Face} {
+		keys := dataset.MustGenerate(name, 3000, 9)
+		for _, stride := range []int{1, 4, 16, 128} {
+			idx := indextest.CheckBuilder(t, Builder{Stride: stride}, keys)
+			if idx.Name() != "IBTree" {
+				t.Fatalf("Name() = %q", idx.Name())
+			}
+		}
+	}
+}
+
+// TestDuplicates checks lower-bound semantics over duplicate runs.
+func TestDuplicates(t *testing.T) {
+	var keys []core.Key
+	for i := 0; i < 500; i++ {
+		k := core.Key(i*10 + 3)
+		for d := 0; d <= i%3; d++ {
+			keys = append(keys, k)
+		}
+	}
+	indextest.CheckBuilder(t, Builder{Stride: 2}, keys)
+}
+
+// TestStrideSizeTradeoff verifies the subset-insertion knob: larger
+// strides must produce strictly smaller indexes.
+func TestStrideSizeTradeoff(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Wiki, 5000, 2)
+	small, err := (Builder{Stride: 64}).Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := (Builder{Stride: 1}).Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.SizeBytes() >= large.SizeBytes() {
+		t.Fatalf("stride 64 (%d B) not smaller than stride 1 (%d B)",
+			small.SizeBytes(), large.SizeBytes())
+	}
+}
+
+func TestBuilderName(t *testing.T) {
+	if (Builder{}).Name() != "IBTree" {
+		t.Fatalf("Builder name = %q", Builder{}.Name())
+	}
+}

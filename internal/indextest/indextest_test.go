@@ -1,0 +1,86 @@
+package indextest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fullIndex is the trivial always-valid index: every lookup gets the
+// full bound.
+type fullIndex struct{ n int }
+
+func (f fullIndex) Lookup(core.Key) core.Bound { return core.FullBound(f.n) }
+func (f fullIndex) SizeBytes() int             { return 0 }
+func (f fullIndex) Name() string               { return "full" }
+
+type fullBuilder struct{ fail bool }
+
+func (b fullBuilder) Build(keys []core.Key) (core.Index, error) {
+	if b.fail {
+		return nil, errors.New("forced build failure")
+	}
+	return fullIndex{n: len(keys)}, nil
+}
+func (fullBuilder) Name() string { return "full" }
+
+// brokenIndex returns a bound that misses the key's lower bound.
+type brokenIndex struct{ n int }
+
+func (b brokenIndex) Lookup(core.Key) core.Bound { return core.Bound{Lo: b.n, Hi: b.n} }
+func (b brokenIndex) SizeBytes() int             { return 0 }
+func (b brokenIndex) Name() string               { return "broken" }
+
+func TestProbesForCoverage(t *testing.T) {
+	keys := []core.Key{5, 9, 9, 20}
+	probes := ProbesFor(keys)
+	want := map[core.Key]bool{
+		0: false, 1: false, 4: false, 5: false, 6: false,
+		8: false, 9: false, 10: false, 19: false, 20: false, 21: false,
+		^core.Key(0): false, ^core.Key(0) - 1: false,
+	}
+	for _, p := range probes {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("probe set missing %d", p)
+		}
+	}
+}
+
+func TestCheckBuilderAcceptsValidIndex(t *testing.T) {
+	keys := []core.Key{1, 3, 3, 7, 100, 100, 100, 4096}
+	idx := CheckBuilder(t, fullBuilder{}, keys)
+	if idx == nil || idx.Name() != "full" {
+		t.Fatal("CheckBuilder did not return the built index")
+	}
+	CheckValidity(t, idx, keys, ProbesFor(keys))
+}
+
+// TestHarnessRejectsInvalidBound verifies the harness's whole job —
+// catching an index whose bound misses the lower bound. CheckValidity
+// fails the test it is handed, so the broken index runs inside a
+// sandboxed test runner whose outcome is inspected instead of
+// propagated.
+func TestHarnessRejectsInvalidBound(t *testing.T) {
+	keys := []core.Key{1, 2, 3}
+	ok := testing.RunTests(
+		func(pat, str string) (bool, error) { return true, nil },
+		[]testing.InternalTest{{
+			Name: "brokenIndexProbe",
+			F: func(st *testing.T) {
+				CheckValidity(st, brokenIndex{n: len(keys)}, keys, []core.Key{1})
+			},
+		}})
+	if ok {
+		t.Fatal("CheckValidity accepted an invalid bound")
+	}
+	// And the probe it runs must be the one ValidBound rejects.
+	if core.ValidBound(keys, 1, brokenIndex{n: len(keys)}.Lookup(1)) {
+		t.Fatal("broken bound unexpectedly valid")
+	}
+}

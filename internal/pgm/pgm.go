@@ -295,6 +295,16 @@ func (idx *Index) Lookup(key core.Key) core.Bound {
 	return core.BoundAround(pos, int(idx.dataErrLo[j]), int(idx.dataErrHi[j]), idx.n)
 }
 
+// LookupBatch implements core.BatchIndex. PGM's bound cost is the
+// data-dependent level descent itself, so the batch win is limited to
+// eliding the per-key interface dispatch; bounds are identical to
+// Lookup's.
+func (idx *Index) LookupBatch(keys []core.Key, out []core.Bound) {
+	for i, x := range keys {
+		out[i] = idx.Lookup(x)
+	}
+}
+
 // SizeBytes implements core.Index.
 func (idx *Index) SizeBytes() int {
 	total := 0

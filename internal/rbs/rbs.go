@@ -93,6 +93,33 @@ func (idx *Index) Lookup(key core.Key) core.Bound {
 	return core.Bound{Lo: lo, Hi: hi}
 }
 
+// LookupBatch implements core.BatchIndex. RBS bounds are two adjacent
+// table loads per key; the batched loop issues them back to back with
+// the shift and clamp constants held in registers, which lets the
+// out-of-order core overlap the (random) table misses across keys.
+func (idx *Index) LookupBatch(keys []core.Key, out []core.Bound) {
+	minKey, shift, n := idx.minKey, idx.shift, idx.n
+	max := uint64(1)<<idx.radixBits - 1
+	for i, x := range keys {
+		var p uint64
+		if x > minKey {
+			p = (x - minKey) >> shift
+			if p > max {
+				p = max
+			}
+		}
+		lo := int(idx.table[p])
+		hi := int(idx.table[p+1]) + 1
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+		out[i] = core.Bound{Lo: lo, Hi: hi}
+	}
+}
+
 // SizeBytes implements core.Index.
 func (idx *Index) SizeBytes() int { return len(idx.table) * 4 }
 

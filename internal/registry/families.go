@@ -1,0 +1,105 @@
+package registry
+
+// The built-in catalog: every index family of the benchmark registers
+// its sweep here. The sweeps were extracted verbatim from the old
+// internal/bench registry so the configuration ladders (and therefore
+// every figure) are unchanged.
+
+import (
+	"fmt"
+
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/fast"
+	"repro/internal/fst"
+	"repro/internal/hashidx"
+	"repro/internal/ibtree"
+	"repro/internal/pgm"
+	"repro/internal/rbs"
+	"repro/internal/rmi"
+	"repro/internal/rs"
+	"repro/internal/wormhole"
+)
+
+// strides is the subset-stride sweep used for every tree structure
+// ("ten configurations ranging from minimum to maximum size").
+var strides = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+func init() {
+	Register("RMI", func(keys []core.Key) []NamedBuilder {
+		cfgs := rmi.ParetoConfigs(keys, 10)
+		out := make([]NamedBuilder, 0, len(cfgs))
+		for _, c := range cfgs {
+			out = append(out, NamedBuilder{c.String(), rmi.Builder{Config: c}})
+		}
+		return out
+	})
+	Register("PGM", func(keys []core.Key) []NamedBuilder {
+		var out []NamedBuilder
+		for _, eps := range []int{4096, 1024, 512, 256, 128, 64, 32, 16, 8, 4} {
+			out = append(out, NamedBuilder{lbl("eps=%d", eps), pgm.Builder{Eps: eps}})
+		}
+		return out
+	})
+	Register("RS", func(keys []core.Key) []NamedBuilder {
+		var out []NamedBuilder
+		type rc struct{ err, bits int }
+		for _, c := range []rc{{4096, 4}, {1024, 6}, {512, 8}, {256, 10}, {128, 12},
+			{64, 14}, {32, 16}, {16, 18}, {8, 20}, {4, 22}} {
+			out = append(out, NamedBuilder{lbl("eps=%d,r=%d", c.err, c.bits),
+				rs.Builder{Config: rs.Config{SplineErr: c.err, RadixBits: c.bits}}})
+		}
+		return out
+	})
+	Register("RBS", func(keys []core.Key) []NamedBuilder {
+		var out []NamedBuilder
+		for _, bits := range []int{4, 6, 8, 10, 12, 14, 16, 18, 20, 22} {
+			out = append(out, NamedBuilder{lbl("r=%d", bits), rbs.Builder{RadixBits: bits}})
+		}
+		return out
+	})
+	Register("BTree", strideSweep(func(s int) core.Builder { return btree.Builder{Stride: s} }))
+	Register("IBTree", strideSweep(func(s int) core.Builder { return ibtree.Builder{Stride: s} }))
+	Register("ART", strideSweep(func(s int) core.Builder { return art.Builder{Stride: s} }))
+	Register("FAST", strideSweep(func(s int) core.Builder { return fast.Builder{Stride: s} }))
+	Register("FST", func(keys []core.Key) []NamedBuilder {
+		var out []NamedBuilder
+		for _, s := range []int{1, 4, 16, 64} {
+			out = append(out, NamedBuilder{lbl("stride=%d", s), fst.Builder{Stride: s}})
+		}
+		return out
+	})
+	Register("Wormhole", func(keys []core.Key) []NamedBuilder {
+		var out []NamedBuilder
+		for _, s := range []int{1, 4, 16, 64} {
+			out = append(out, NamedBuilder{lbl("stride=%d", s), wormhole.Builder{Stride: s}})
+		}
+		return out
+	})
+	Register("BS", func(keys []core.Key) []NamedBuilder {
+		return []NamedBuilder{{"", rbs.BinarySearchBuilder{}}}
+	})
+	Register("RobinHash", func(keys []core.Key) []NamedBuilder {
+		return []NamedBuilder{{"lf=0.25", hashidx.RobinHoodBuilder{}}}
+	})
+	Register("CuckooMap", func(keys []core.Key) []NamedBuilder {
+		return []NamedBuilder{{"lf=0.99", hashidx.CuckooBuilder{}}}
+	})
+}
+
+func strideSweep(mk func(int) core.Builder) SweepFunc {
+	return func(keys []core.Key) []NamedBuilder {
+		out := make([]NamedBuilder, 0, len(strides))
+		// Large stride = small index first, matching the sweep order of
+		// the learned structures.
+		for i := len(strides) - 1; i >= 0; i-- {
+			out = append(out, NamedBuilder{lbl("stride=%d", strides[i]), mk(strides[i])})
+		}
+		return out
+	}
+}
+
+func lbl(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,100 @@
+// Package registry is the single catalog of index-structure families:
+// every family self-describes as a name plus a sweep constructor that
+// yields its configuration ladder (small index to large) for a given
+// key set. The benchmark harness, the sosd CLI, and the serving layer
+// all consume this one catalog, so adding a family here makes it
+// available everywhere at once.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// NamedBuilder pairs a builder with its configuration label.
+type NamedBuilder struct {
+	Label   string
+	Builder core.Builder
+}
+
+// SweepFunc returns a family's configuration sweep for a key set,
+// ordered small index to large. Learned structures tune per dataset,
+// mirroring the paper's author-tuned configurations, which is why the
+// sweep is a function of the keys rather than a static list.
+type SweepFunc func(keys []core.Key) []NamedBuilder
+
+var families = map[string]SweepFunc{}
+
+// Register adds a family to the catalog. It panics on duplicate names:
+// two packages claiming one family is a programming error, and the
+// catalog is assembled at init time where failing loudly is the only
+// useful behaviour.
+func Register(family string, fn SweepFunc) {
+	if fn == nil {
+		panic(fmt.Sprintf("registry: nil sweep for family %q", family))
+	}
+	if _, dup := families[family]; dup {
+		panic(fmt.Sprintf("registry: duplicate family %q", family))
+	}
+	families[family] = fn
+}
+
+// Has reports whether a family is registered.
+func Has(family string) bool {
+	_, ok := families[family]
+	return ok
+}
+
+// Families returns every registered family name, sorted.
+func Families() []string {
+	out := make([]string, 0, len(families))
+	for name := range families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sweep returns the configuration sweep for a registered family, small
+// index to large, or nil for an unknown family.
+func Sweep(family string, keys []core.Key) []NamedBuilder {
+	fn, ok := families[family]
+	if !ok {
+		return nil
+	}
+	return fn(keys)
+}
+
+// Builder returns the single mid-sweep builder of a family: the
+// canonical "one reasonable configuration" used when a caller (e.g. a
+// serving shard) wants a family without sweeping. ok is false for an
+// unknown family or an empty sweep.
+func Builder(family string, keys []core.Key) (NamedBuilder, bool) {
+	sweep := Sweep(family, keys)
+	if len(sweep) == 0 {
+		return NamedBuilder{}, false
+	}
+	return sweep[len(sweep)/2], true
+}
+
+// ParetoFamilies is the structure set of Figure 7.
+var ParetoFamilies = []string{"RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree", "FAST"}
+
+// StringFamilies is the structure set of Figure 8.
+var StringFamilies = []string{"FST", "Wormhole", "RMI", "BTree"}
+
+// Table2Families is the structure set of Table 2.
+var Table2Families = []string{"PGM", "RS", "RMI", "BTree", "IBTree", "FAST", "BS", "CuckooMap", "RobinHash"}
+
+// Fig12Families is the structure set of Figure 12.
+var Fig12Families = []string{"RMI", "PGM", "RS", "BTree", "ART"}
+
+// Fig16Families is the structure set of Figure 16.
+var Fig16Families = []string{"RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree", "FAST", "RobinHash"}
+
+// ServeFamilies is the default family set of the sharded serving
+// experiments: the three learned structures with a batched bound path
+// plus the classic tree baseline.
+var ServeFamilies = []string{"RMI", "PGM", "RS", "BTree"}

@@ -1,0 +1,94 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// allBuiltins is the family set the built-in catalog must provide.
+var allBuiltins = []string{
+	"RMI", "PGM", "RS", "RBS", "BTree", "IBTree", "ART", "FAST",
+	"FST", "Wormhole", "BS", "RobinHash", "CuckooMap",
+}
+
+func TestBuiltinCatalogComplete(t *testing.T) {
+	for _, f := range allBuiltins {
+		if !Has(f) {
+			t.Errorf("family %s not registered", f)
+		}
+	}
+	fams := Families()
+	if len(fams) < len(allBuiltins) {
+		t.Fatalf("Families() lists %d, want >= %d", len(fams), len(allBuiltins))
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i] <= fams[i-1] {
+			t.Fatalf("Families() not sorted: %v", fams)
+		}
+	}
+	for _, set := range [][]string{ParetoFamilies, StringFamilies, Table2Families,
+		Fig12Families, Fig16Families, ServeFamilies} {
+		for _, f := range set {
+			if !Has(f) {
+				t.Errorf("figure family set references unregistered %s", f)
+			}
+		}
+	}
+}
+
+func TestSweepsBuildAndValidate(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Wiki, 2000, 1)
+	for _, f := range Families() {
+		sweep := Sweep(f, keys)
+		if len(sweep) == 0 {
+			t.Errorf("%s: empty sweep", f)
+			continue
+		}
+		// Build the mid variant and spot-check bound validity.
+		nb, ok := Builder(f, keys)
+		if !ok {
+			t.Fatalf("%s: no canonical builder", f)
+		}
+		idx, err := nb.Builder.Build(keys)
+		if err != nil {
+			t.Fatalf("%s(%s): %v", f, nb.Label, err)
+		}
+		for _, x := range keys[:200] {
+			if b := idx.Lookup(x); !core.ValidBound(keys, x, b) {
+				t.Fatalf("%s: invalid bound %v for key %d", f, b, x)
+			}
+		}
+	}
+}
+
+func TestSweepUnknownFamily(t *testing.T) {
+	if Sweep("NoSuchFamily", nil) != nil {
+		t.Error("unknown family returned a sweep")
+	}
+	if Has("NoSuchFamily") {
+		t.Error("Has(unknown) = true")
+	}
+	if _, ok := Builder("NoSuchFamily", nil); ok {
+		t.Error("Builder(unknown) ok")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("RMI", func([]core.Key) []NamedBuilder { return nil })
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil Register did not panic")
+		}
+	}()
+	Register("SomethingNew", nil)
+}

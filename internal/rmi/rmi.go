@@ -208,6 +208,21 @@ func (idx *Index) Lookup(key core.Key) core.Bound {
 	return core.BoundAround(pos, int(lf.errLo), int(lf.errHi), idx.n)
 }
 
+// LookupBatch implements core.BatchIndex: one call predicts bounds for
+// a whole batch, keeping the stage-1 model hot in registers and the
+// output bounds in a single streamed store pass instead of paying an
+// interface dispatch per key. Routing uses exactly the scalar route()
+// arithmetic, so batched bounds are bit-identical to Lookup's.
+func (idx *Index) LookupBatch(keys []core.Key, out []core.Bound) {
+	n := idx.n
+	for i, x := range keys {
+		fkey := float64(x)
+		lf := &idx.leaves[idx.route(fkey)]
+		pos := lf.clampPredict(fkey)
+		out[i] = core.BoundAround(pos, int(lf.errLo), int(lf.errHi), n)
+	}
+}
+
 // SizeBytes implements core.Index.
 func (idx *Index) SizeBytes() int {
 	return modelSizeBytes + len(idx.leaves)*leafSizeBytes

@@ -246,6 +246,19 @@ func (idx *Index) Lookup(key core.Key) core.Bound {
 	return core.BoundAround(pos, idx.errLo, idx.errHi, idx.n)
 }
 
+// LookupBatch implements core.BatchIndex: the radix-table probe and
+// spline interpolation run in one tight loop with the global margins
+// hoisted, so consecutive table loads can overlap instead of each
+// paying an interface dispatch. Bounds are identical to Lookup's.
+func (idx *Index) LookupBatch(keys []core.Key, out []core.Bound) {
+	errLo, errHi, n := idx.errLo, idx.errHi, idx.n
+	for i, x := range keys {
+		seg := idx.segmentFor(x)
+		pos := idx.interpolate(seg, x)
+		out[i] = core.BoundAround(pos, errLo, errHi, n)
+	}
+}
+
 // computeMargins verifies the spline against every distinct key and
 // the gaps between them, returning global search margins valid for
 // arbitrary lower-bound queries (see the analogous reasoning in

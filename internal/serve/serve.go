@@ -1,0 +1,374 @@
+// Package serve implements the many-users serving scenario on top of
+// the table layer: a Store range-partitions the keyspace across N
+// shards, each an independent, atomically replaceable table.Table
+// built from any registered index family, and answers batched lookups
+// through a fixed goroutine pool.
+//
+// Concurrency model: reads (Get, GetBatch) are lock-free — they load
+// each shard's current table through an atomic pointer — and may run
+// from any number of goroutines. Writes are single-writer per shard:
+// Replace serializes on a per-shard mutex, builds the new index off to
+// the side, and publishes it with one pointer swap, so readers never
+// block and never observe a half-built shard.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/search"
+	"repro/internal/table"
+)
+
+// Config configures a Store.
+type Config struct {
+	// Shards is the number of range partitions; 0 defaults to
+	// runtime.NumCPU(). Clamped to the number of distinct keys.
+	Shards int
+
+	// Family selects the registered index family used for every shard
+	// (mid-sweep configuration); empty defaults to "PGM". Ignored when
+	// BuilderFor is set.
+	Family string
+
+	// BuilderFor, when non-nil, supplies the index builder per shard,
+	// allowing heterogeneous stores (e.g. a learned index on smooth
+	// shards, a B-tree on adversarial ones).
+	BuilderFor func(shard int, keys []core.Key) (core.Builder, error)
+
+	// Search is the last-mile search function; nil defaults to binary.
+	Search search.Fn
+
+	// Workers is the goroutine-pool size serving batched lookups; 0
+	// defaults to min(Shards, runtime.NumCPU()).
+	Workers int
+}
+
+// Store is a sharded key→payload store. See the package comment for
+// the concurrency model.
+type Store struct {
+	cfg        Config
+	seps       []core.Key // seps[i] = first key owned by shard i
+	shards     []atomic.Pointer[table.Table]
+	writeMu    []sync.Mutex // per-shard single-writer locks
+	builderFor func(shard int, keys []core.Key) (core.Builder, error)
+
+	jobs      chan job
+	workersWG sync.WaitGroup
+	scratch   sync.Pool // *batchScratch
+	closed    atomic.Bool
+}
+
+type job struct {
+	t     *table.Table
+	keys  []core.Key
+	out   []uint64
+	found *atomic.Int64
+	wg    *sync.WaitGroup
+}
+
+type batchScratch struct {
+	shard  []int32
+	offs   []int32
+	starts []int32
+	gkeys  []core.Key
+	gout   []uint64
+	pos    []int32
+}
+
+// New builds a Store over sorted keys and payloads. The key array is
+// split into contiguous, duplicate-respecting ranges of near-equal
+// size; each range becomes one shard with its own index.
+func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("serve: empty key set")
+	}
+	if len(keys) != len(payloads) {
+		return nil, errors.New("serve: keys and payloads length mismatch")
+	}
+	if !core.IsSorted(keys) {
+		return nil, errors.New("serve: keys not sorted")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.NumCPU()
+	}
+	if cfg.Shards > len(keys) {
+		cfg.Shards = len(keys)
+	}
+	if cfg.Family == "" {
+		cfg.Family = "PGM"
+	}
+	if cfg.Search == nil {
+		cfg.Search = search.BinarySearch
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = cfg.Shards
+		if ncpu := runtime.NumCPU(); cfg.Workers > ncpu {
+			cfg.Workers = ncpu
+		}
+	}
+
+	st := &Store{cfg: cfg, builderFor: cfg.BuilderFor}
+	if st.builderFor == nil {
+		family := cfg.Family
+		if !registry.Has(family) {
+			return nil, fmt.Errorf("serve: unknown index family %q", family)
+		}
+		st.builderFor = func(_ int, keys []core.Key) (core.Builder, error) {
+			nb, ok := registry.Builder(family, keys)
+			if !ok {
+				return nil, fmt.Errorf("serve: empty sweep for family %q", family)
+			}
+			return nb.Builder, nil
+		}
+	}
+
+	// Partition: shard i starts at the i-th near-equal cut, advanced
+	// past any duplicate run so one key never straddles two shards.
+	n := len(keys)
+	starts := make([]int, 0, cfg.Shards)
+	prev := -1
+	for i := 0; i < cfg.Shards; i++ {
+		s := i * n / cfg.Shards
+		for s > 0 && s < n && keys[s] == keys[s-1] {
+			s++
+		}
+		if s >= n || s <= prev {
+			continue // duplicate-heavy data can exhaust distinct cuts
+		}
+		starts = append(starts, s)
+		prev = s
+	}
+	nShards := len(starts)
+	st.seps = make([]core.Key, nShards)
+	st.shards = make([]atomic.Pointer[table.Table], nShards)
+	st.writeMu = make([]sync.Mutex, nShards)
+
+	// Build shard tables concurrently: builds are independent and the
+	// learned families are CPU-bound.
+	var wg sync.WaitGroup
+	errs := make([]error, nShards)
+	for i := 0; i < nShards; i++ {
+		lo := starts[i]
+		hi := n
+		if i+1 < nShards {
+			hi = starts[i+1]
+		}
+		st.seps[i] = keys[lo]
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			t, err := st.buildShard(i, keys[lo:hi], payloads[lo:hi])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st.shards[i].Store(t)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	st.scratch.New = func() any { return &batchScratch{} }
+	st.jobs = make(chan job)
+	for w := 0; w < cfg.Workers; w++ {
+		st.workersWG.Add(1)
+		go st.worker()
+	}
+	return st, nil
+}
+
+func (st *Store) buildShard(i int, keys []core.Key, payloads []uint64) (*table.Table, error) {
+	b, err := st.builderFor(i, keys)
+	if err != nil {
+		return nil, err
+	}
+	t, err := table.Build(b, keys, payloads, st.cfg.Search)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+	}
+	return t, nil
+}
+
+func (st *Store) worker() {
+	defer st.workersWG.Done()
+	for j := range st.jobs {
+		j.found.Add(int64(j.t.GetBatch(j.keys, j.out)))
+		j.wg.Done()
+	}
+}
+
+// Close stops the worker pool. Lookups must not be in flight or issued
+// after Close; shard tables remain readable through Get.
+func (st *Store) Close() {
+	if st.closed.Swap(true) {
+		return
+	}
+	close(st.jobs)
+	st.workersWG.Wait()
+}
+
+// shardOf routes a key to the shard owning its range: the rightmost
+// shard whose separator is <= key (keys below every separator belong
+// to shard 0, where they are correctly reported absent).
+func (st *Store) shardOf(x core.Key) int {
+	i := sort.Search(len(st.seps), func(i int) bool { return st.seps[i] > x })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// NumShards reports the number of range partitions actually built.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// Len reports the total number of key/payload pairs.
+func (st *Store) Len() int {
+	total := 0
+	for i := range st.shards {
+		total += st.shards[i].Load().Len()
+	}
+	return total
+}
+
+// SizeBytes reports the summed index footprint across shards.
+func (st *Store) SizeBytes() int {
+	total := 0
+	for i := range st.shards {
+		total += st.shards[i].Load().SizeBytes()
+	}
+	return total
+}
+
+// Shard returns shard i's current table (a consistent immutable
+// snapshot; a concurrent Replace does not affect it).
+func (st *Store) Shard(i int) *table.Table { return st.shards[i].Load() }
+
+// Get returns the payload for key, or false when absent.
+func (st *Store) Get(key core.Key) (uint64, bool) {
+	return st.shards[st.shardOf(key)].Load().Get(key)
+}
+
+// GetBatch looks up a batch of keys across all shards: out[i] receives
+// the payload for keys[i] (0 when absent) and the number found is
+// returned. Keys are gathered per shard, served by the worker pool as
+// one batched job per shard, and scattered back, so a batch touching
+// S shards runs on up to S workers concurrently.
+func (st *Store) GetBatch(keys []core.Key, out []uint64) int {
+	n := len(keys)
+	if len(out) < n {
+		panic("serve: GetBatch output shorter than key batch")
+	}
+	if n == 0 {
+		return 0
+	}
+	nShards := len(st.shards)
+	s := st.scratch.Get().(*batchScratch)
+	s.ensure(n, nShards)
+
+	// Count keys per shard, prefix-sum into gather offsets, then
+	// stable-gather so each shard's keys are contiguous.
+	counts := s.offs[:nShards+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i, x := range keys {
+		sh := int32(st.shardOf(x))
+		s.shard[i] = sh
+		counts[sh+1]++
+	}
+	for i := 1; i <= nShards; i++ {
+		counts[i] += counts[i-1]
+	}
+	starts := s.starts[:nShards+1]
+	copy(starts, counts)
+	for i, x := range keys {
+		sh := s.shard[i]
+		slot := counts[sh]
+		counts[sh] = slot + 1
+		s.gkeys[slot] = x
+		s.pos[i] = slot
+	}
+
+	var wg sync.WaitGroup
+	var found atomic.Int64
+	for sh := 0; sh < nShards; sh++ {
+		lo, hi := starts[sh], starts[sh+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		st.jobs <- job{
+			t:     st.shards[sh].Load(),
+			keys:  s.gkeys[lo:hi],
+			out:   s.gout[lo:hi],
+			found: &found,
+			wg:    &wg,
+		}
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		out[i] = s.gout[s.pos[i]]
+	}
+	st.scratch.Put(s)
+	return int(found.Load())
+}
+
+func (s *batchScratch) ensure(n, nShards int) {
+	if cap(s.shard) < n {
+		s.shard = make([]int32, n)
+		s.gkeys = make([]core.Key, n)
+		s.gout = make([]uint64, n)
+		s.pos = make([]int32, n)
+	}
+	s.shard = s.shard[:n]
+	s.gkeys = s.gkeys[:n]
+	s.gout = s.gout[:n]
+	s.pos = s.pos[:n]
+	if cap(s.offs) < nShards+1 {
+		s.offs = make([]int32, nShards+1)
+		s.starts = make([]int32, nShards+1)
+	}
+	s.offs = s.offs[:nShards+1]
+	s.starts = s.starts[:nShards+1]
+}
+
+// Replace rebuilds shard i over new data. keys must be sorted, stay
+// within the shard's key range (first key equal to the shard's
+// separator, last key below the next separator), and match payloads in
+// length. Replace is the single-writer path: concurrent Replace calls
+// on one shard serialize, readers continue on the old table until the
+// atomic swap.
+func (st *Store) Replace(i int, keys []core.Key, payloads []uint64) error {
+	if i < 0 || i >= len(st.shards) {
+		return fmt.Errorf("serve: no shard %d", i)
+	}
+	if len(keys) == 0 {
+		return errors.New("serve: empty replacement")
+	}
+	if keys[0] != st.seps[i] {
+		return fmt.Errorf("serve: replacement must start at separator %d, got %d", st.seps[i], keys[0])
+	}
+	if i+1 < len(st.seps) && keys[len(keys)-1] >= st.seps[i+1] {
+		return fmt.Errorf("serve: replacement key %d crosses into shard %d", keys[len(keys)-1], i+1)
+	}
+	st.writeMu[i].Lock()
+	defer st.writeMu[i].Unlock()
+	t, err := st.buildShard(i, keys, payloads)
+	if err != nil {
+		return err
+	}
+	st.shards[i].Store(t)
+	return nil
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/registry"
+)
+
+func testData(t *testing.T, n int) ([]core.Key, []uint64) {
+	t.Helper()
+	keys := dataset.MustGenerate(dataset.Amzn, n, 17)
+	payloads := make([]uint64, len(keys))
+	for i := range payloads {
+		payloads[i] = uint64(i)*3 + 7
+	}
+	return keys, payloads
+}
+
+func expectGet(keys []core.Key, payloads []uint64, x core.Key) (uint64, bool) {
+	pos := core.LowerBound(keys, x)
+	if pos < len(keys) && keys[pos] == x {
+		return payloads[pos], true
+	}
+	return 0, false
+}
+
+// TestStoreCorrectness verifies Get and GetBatch against LowerBound
+// ground truth across shard boundaries, for every serve family.
+func TestStoreCorrectness(t *testing.T) {
+	keys, payloads := testData(t, 6000)
+	for _, family := range registry.ServeFamilies {
+		st, err := New(keys, payloads, Config{Shards: 5, Family: family})
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if st.NumShards() < 2 {
+			t.Fatalf("%s: only %d shards", family, st.NumShards())
+		}
+		if st.Len() != len(keys) {
+			t.Fatalf("%s: Len %d != %d", family, st.Len(), len(keys))
+		}
+
+		probes := append(dataset.Lookups(keys, 1000, 5), dataset.AbsentLookups(keys, 200, 5)...)
+		probes = append(probes, 0, ^core.Key(0), keys[0], keys[len(keys)-1])
+		for _, x := range probes {
+			wantV, wantOK := expectGet(keys, payloads, x)
+			gotV, gotOK := st.Get(x)
+			if gotV != wantV || gotOK != wantOK {
+				t.Fatalf("%s: Get(%d) = (%d,%v), want (%d,%v)", family, x, gotV, gotOK, wantV, wantOK)
+			}
+		}
+
+		out := make([]uint64, len(probes))
+		found := st.GetBatch(probes, out)
+		wantFound := 0
+		for i, x := range probes {
+			wantV, wantOK := expectGet(keys, payloads, x)
+			if wantOK {
+				wantFound++
+			}
+			if out[i] != wantV {
+				t.Fatalf("%s: GetBatch key %d -> %d, want %d", family, x, out[i], wantV)
+			}
+		}
+		if found != wantFound {
+			t.Fatalf("%s: found %d, want %d", family, found, wantFound)
+		}
+		st.Close()
+	}
+}
+
+// TestConcurrentGetBatch hammers a >= 4 shard store from many
+// concurrent callers; run under -race this is the serving layer's
+// safety test.
+func TestConcurrentGetBatch(t *testing.T) {
+	keys, payloads := testData(t, 8000)
+	st, err := New(keys, payloads, Config{Shards: 4, Family: "PGM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.NumShards() < 4 {
+		t.Fatalf("only %d shards, need >= 4", st.NumShards())
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			probes := dataset.Lookups(keys, 500, uint64(c+1))
+			out := make([]uint64, len(probes))
+			for rep := 0; rep < 20; rep++ {
+				st.GetBatch(probes, out)
+				for i, x := range probes {
+					if want, _ := expectGet(keys, payloads, x); out[i] != want {
+						errs <- "stale or wrong batch result"
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestReplaceUnderReads rebuilds one shard while readers stream
+// batches: readers must never block on the writer and must always
+// observe either the old or the new table, never a mix.
+func TestReplaceUnderReads(t *testing.T) {
+	keys, payloads := testData(t, 8000)
+	st, err := New(keys, payloads, Config{Shards: 4, Family: "BTree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// The replacement doubles shard 1's payloads over the same keys.
+	sh := 1
+	lo := core.LowerBound(keys, st.seps[sh])
+	hi := len(keys)
+	if sh+1 < len(st.seps) {
+		hi = core.LowerBound(keys, st.seps[sh+1])
+	}
+	newPayloads := make([]uint64, hi-lo)
+	for i := range newPayloads {
+		newPayloads[i] = payloads[lo+i] * 2
+	}
+
+	stop := make(chan struct{})
+	readerErrs := make(chan string, 4)
+	var readers sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		readers.Add(1)
+		go func(c int) {
+			defer readers.Done()
+			probes := dataset.Lookups(keys[lo:hi], 256, uint64(c+11))
+			out := make([]uint64, len(probes))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st.GetBatch(probes, out)
+				for i, x := range probes {
+					old, _ := expectGet(keys, payloads, x)
+					if out[i] != old && out[i] != old*2 {
+						readerErrs <- "batch saw neither old nor new payload"
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	for rep := 0; rep < 5; rep++ {
+		if err := st.Replace(sh, keys[lo:hi], newPayloads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+	close(readerErrs)
+	for msg := range readerErrs {
+		t.Fatal(msg)
+	}
+
+	// After the last replace, reads must see the new payloads.
+	x := keys[lo]
+	want := payloads[lo] * 2
+	if got, ok := st.Get(x); !ok || got != want {
+		t.Fatalf("after replace: Get(%d) = %d, want %d", x, got, want)
+	}
+}
+
+// TestReplaceValidation covers the writer-path guard rails.
+func TestReplaceValidation(t *testing.T) {
+	keys, payloads := testData(t, 4000)
+	st, err := New(keys, payloads, Config{Shards: 4, Family: "RS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Replace(-1, keys, payloads); err == nil {
+		t.Error("negative shard accepted")
+	}
+	if err := st.Replace(0, nil, nil); err == nil {
+		t.Error("empty replacement accepted")
+	}
+	// A replacement crossing into the next shard's range must fail.
+	if st.NumShards() >= 2 {
+		if err := st.Replace(0, keys, payloads); err == nil {
+			t.Error("cross-shard replacement accepted")
+		}
+	}
+}
+
+// TestHeterogeneousShards exercises BuilderFor: alternating families
+// across shards behind one store.
+func TestHeterogeneousShards(t *testing.T) {
+	keys, payloads := testData(t, 6000)
+	fams := []string{"RMI", "BTree", "PGM", "RBS"}
+	st, err := New(keys, payloads, Config{
+		Shards: 4,
+		BuilderFor: func(shard int, keys []core.Key) (core.Builder, error) {
+			nb, _ := registry.Builder(fams[shard%len(fams)], keys)
+			return nb.Builder, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	probes := dataset.Lookups(keys, 500, 3)
+	out := make([]uint64, len(probes))
+	st.GetBatch(probes, out)
+	for i, x := range probes {
+		if want, _ := expectGet(keys, payloads, x); out[i] != want {
+			t.Fatalf("key %d -> %d, want %d", x, out[i], want)
+		}
+	}
+	if st.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}
+
+// TestUnknownFamily covers config validation.
+func TestUnknownFamily(t *testing.T) {
+	keys, payloads := testData(t, 100)
+	if _, err := New(keys, payloads, Config{Family: "NoSuchIndex"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := New(nil, nil, Config{}); err == nil {
+		t.Error("empty key set accepted")
+	}
+	if _, err := New(keys, payloads[:10], Config{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,227 @@
+// Package table implements the end-to-end serving unit of the
+// benchmark: a Table owns a sorted key array, its payload array, a
+// search-bound index (core.Index) and a last-mile search function, and
+// serves the full key→payload path — point reads, range scans, and a
+// batched lookup fast path.
+//
+// The batched path (GetBatch) amortizes the two halves of a lookup
+// over a batch: bound prediction goes through core.BatchIndex when the
+// index implements it (one call per batch instead of one interface
+// dispatch per key), and the last-mile search runs as rounds of
+// independent probes across the batch, so the random data-array loads
+// of different keys overlap in the memory system instead of
+// serializing behind one binary search at a time.
+package table
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/search"
+)
+
+// Table is an immutable sorted run of key/payload pairs served through
+// a pluggable index. All read methods are safe for concurrent use.
+type Table struct {
+	keys     []core.Key
+	payloads []uint64
+	idx      core.Index
+	fn       search.Fn
+}
+
+// New wraps existing data in a Table. keys must be sorted ascending
+// and the same length as payloads; fn nil defaults to binary search.
+// The Table aliases both slices — callers must not mutate them.
+func New(keys []core.Key, payloads []uint64, idx core.Index, fn search.Fn) (*Table, error) {
+	if idx == nil {
+		return nil, errors.New("table: nil index")
+	}
+	if len(keys) != len(payloads) {
+		return nil, errors.New("table: keys and payloads length mismatch")
+	}
+	if !core.IsSorted(keys) {
+		return nil, errors.New("table: keys not sorted")
+	}
+	if fn == nil {
+		fn = search.BinarySearch
+	}
+	return &Table{keys: keys, payloads: payloads, idx: idx, fn: fn}, nil
+}
+
+// Build constructs the index with b and wraps the result in a Table.
+func Build(b core.Builder, keys []core.Key, payloads []uint64, fn search.Fn) (*Table, error) {
+	idx, err := b.Build(keys)
+	if err != nil {
+		return nil, err
+	}
+	return New(keys, payloads, idx, fn)
+}
+
+// Len reports the number of key/payload pairs.
+func (t *Table) Len() int { return len(t.keys) }
+
+// Index returns the underlying search-bound index.
+func (t *Table) Index() core.Index { return t.idx }
+
+// SizeBytes reports the index footprint (the size axis of the paper's
+// tradeoff curves; the data arrays are the same for every index).
+func (t *Table) SizeBytes() int { return t.idx.SizeBytes() }
+
+// MinKey returns the smallest key; ok is false for an empty table.
+func (t *Table) MinKey() (core.Key, bool) {
+	if len(t.keys) == 0 {
+		return 0, false
+	}
+	return t.keys[0], true
+}
+
+// MaxKey returns the largest key; ok is false for an empty table.
+func (t *Table) MaxKey() (core.Key, bool) {
+	if len(t.keys) == 0 {
+		return 0, false
+	}
+	return t.keys[len(t.keys)-1], true
+}
+
+// lowerBound resolves the exact lower-bound position of key through
+// the index and last-mile search.
+func (t *Table) lowerBound(key core.Key) int {
+	return t.fn(t.keys, key, t.idx.Lookup(key))
+}
+
+// Get returns the payload stored for key, or false when absent. For
+// duplicate keys it returns the first occurrence's payload.
+func (t *Table) Get(key core.Key) (uint64, bool) {
+	pos := t.lowerBound(key)
+	if pos < len(t.keys) && t.keys[pos] == key {
+		return t.payloads[pos], true
+	}
+	return 0, false
+}
+
+// Range returns the keys and payloads with key in [lo, hi), as views
+// into the table's arrays (zero-copy; callers must not mutate them).
+func (t *Table) Range(lo, hi core.Key) ([]core.Key, []uint64) {
+	start := t.lowerBound(lo)
+	if hi < lo {
+		hi = lo
+	}
+	end := t.lowerBound(hi)
+	return t.keys[start:end], t.payloads[start:end]
+}
+
+// Scan visits the pairs with key in [lo, hi) in order, stopping early
+// when visit returns false. It returns the number of pairs visited.
+func (t *Table) Scan(lo, hi core.Key, visit func(core.Key, uint64) bool) int {
+	keys, payloads := t.Range(lo, hi)
+	for i := range keys {
+		if !visit(keys[i], payloads[i]) {
+			return i + 1
+		}
+	}
+	return len(keys)
+}
+
+// batchBlock is the GetBatch processing granularity: large enough to
+// amortize the per-block passes, small enough that the block's bounds
+// and keys stay resident in L1 between passes.
+const batchBlock = 256
+
+// narrowWidth is the bound width below which the pipelined probe
+// rounds stop and the scalar last mile takes over; past this point the
+// whole bound sits in one or two cache lines and independent-probe
+// scheduling has nothing left to overlap.
+const narrowWidth = 8
+
+// maxProbeRounds caps the pipelined rounds per block. Each round
+// halves every active bound, so 16 rounds narrow even a 512k-wide
+// bound (the worst sweep configurations) to scalar range.
+const maxProbeRounds = 16
+
+// pipelineMinKeys gates the pipelined probe rounds: below ~2 MB of
+// keys the data array is cache-resident, every probe hits anyway, and
+// the extra bound-array passes only cost; above it the overlapped
+// misses win.
+const pipelineMinKeys = 1 << 18
+
+// GetBatch looks up a batch of keys: out[i] receives the payload for
+// keys[i], or 0 when absent, and the number of keys found is returned.
+// len(out) must be at least len(keys). The batch is processed in
+// blocks of bounds-prediction, pipelined probe rounds, and scalar
+// last-mile; ascending runs within a block additionally narrow each
+// bound by the previous key's resolved position (sorted-probe reuse).
+func (t *Table) GetBatch(keys []core.Key, out []uint64) int {
+	if len(out) < len(keys) {
+		panic("table: GetBatch output shorter than key batch")
+	}
+	found := 0
+	var bounds [batchBlock]core.Bound
+	for off := 0; off < len(keys); off += batchBlock {
+		end := off + batchBlock
+		if end > len(keys) {
+			end = len(keys)
+		}
+		found += t.getBlock(keys[off:end], out[off:end], bounds[:end-off])
+	}
+	return found
+}
+
+// getBlock serves one block of at most batchBlock keys.
+func (t *Table) getBlock(chunk []core.Key, out []uint64, bs []core.Bound) int {
+	// Pass 1: bound prediction, vectorized when the index supports it.
+	core.LookupBatch(t.idx, chunk, bs)
+
+	// Pass 2: pipelined binary-search rounds. Every active bound takes
+	// one probe per round; the probes of a round are independent, so
+	// their data-array loads overlap instead of chaining like the
+	// per-key path's log2(width) dependent misses.
+	rounds := maxProbeRounds
+	if len(t.keys) < pipelineMinKeys {
+		rounds = 0
+	}
+	for round := 0; round < rounds; round++ {
+		active := false
+		for i := range bs {
+			lo, hi := bs[i].Lo, bs[i].Hi
+			if hi-lo <= narrowWidth {
+				continue
+			}
+			active = true
+			mid := int(uint(lo+hi) >> 1)
+			if t.keys[mid] < chunk[i] {
+				bs[i].Lo = mid + 1
+			} else {
+				bs[i].Hi = mid
+			}
+		}
+		if !active {
+			break
+		}
+	}
+
+	// Pass 3: scalar last mile on the narrowed bounds, reusing the
+	// previous position as a floor whenever the block is locally
+	// ascending (LB is monotone in the key, so a later-or-equal key
+	// can never land before an earlier key's resolved position).
+	found := 0
+	prevPos := 0
+	havePrev := false
+	for i, x := range chunk {
+		b := bs[i]
+		if havePrev && x >= chunk[i-1] && prevPos > b.Lo {
+			b.Lo = prevPos
+			if b.Lo > b.Hi {
+				b.Lo = b.Hi
+			}
+		}
+		pos := t.fn(t.keys, x, b)
+		prevPos, havePrev = pos, true
+		if pos < len(t.keys) && t.keys[pos] == x {
+			out[i] = t.payloads[pos]
+			found++
+		} else {
+			out[i] = 0
+		}
+	}
+	return found
+}
