@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet bench race serve
+.PHONY: tier1 vet bench race serve serve-write examples doccheck
 
 # tier1 is the verify recipe: everything must build and every test pass.
 tier1:
@@ -11,7 +11,7 @@ vet:
 
 # bench runs the root benchmark subset exercising the serving layer.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkGetBatch|BenchmarkServeSharded|BenchmarkTable2' -benchtime 200000x .
+	$(GO) test -run '^$$' -bench 'BenchmarkGetBatch|BenchmarkServeSharded|BenchmarkServeMixed|BenchmarkTable2' -benchtime 200000x .
 
 # race runs the concurrency-sensitive packages under the race detector.
 race:
@@ -20,3 +20,21 @@ race:
 # serve prints the serving-layer experiment at a quick scale.
 serve:
 	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve
+
+# serve-write prints the mixed read/write experiment at a quick scale.
+serve-write:
+	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-write
+
+# examples builds every walkthrough under examples/.
+examples:
+	$(GO) build ./examples/...
+
+# doccheck fails when README.md does not mention every directory under
+# internal/ — the doc-drift guard run in CI.
+doccheck:
+	@missing=0; \
+	for d in internal/*/; do \
+		p=$$(basename $$d); \
+		grep -q "internal/$$p" README.md || { echo "README.md does not mention internal/$$p"; missing=1; }; \
+	done; \
+	exit $$missing

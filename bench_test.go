@@ -459,6 +459,38 @@ func BenchmarkServeSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkServeMixed measures the mutable store under a YCSB-A-style
+// 50/50 zipfian read/write mix (ns/op is per operation; background
+// compactions run concurrently, as in a live system).
+func BenchmarkServeMixed(b *testing.B) {
+	e := serveEnv(b)
+	for _, family := range serveBenchFamilies {
+		b.Run(family, func(b *testing.B) {
+			st, err := serve.New(e.Keys, e.Payloads, serve.Config{
+				Shards: 4, Family: family, CompactThreshold: serve.DefaultCompactThreshold,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			reads := dataset.ZipfLookups(e.Keys, 1<<16, bench.YCSBTheta, 7)
+			inserts := dataset.InsertKeys(e.Keys, 1<<15, 9)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i&1 == 0 {
+					st.Get(reads[i%len(reads)])
+				} else if i&2 == 0 {
+					st.Put(inserts[(i>>2)%len(inserts)], uint64(i))
+				} else {
+					st.Put(reads[i%len(reads)], uint64(i))
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(st.Compactions()), "compactions")
+		})
+	}
+}
+
 // BenchmarkPerfsimOverhead quantifies the simulator itself (not a
 // paper figure; a sanity number for the methodology).
 func BenchmarkPerfsimOverhead(b *testing.B) {

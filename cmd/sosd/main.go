@@ -8,7 +8,8 @@
 //	sosd [-n keys] [-lookups m] [-seed s] <experiment> [...]
 //
 // Experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16a fig16b fig16c fig17 regress serve all
+// fig13 fig14 fig15 fig16a fig16b fig16c fig17 regress serve
+// serve-write all
 package main
 
 import (
@@ -44,6 +45,7 @@ var experiments = []struct {
 	{"fig16c", "cache misses per lookup per second", bench.Fig16c},
 	{"fig17", "build times at 1x..4x scale", bench.Fig17},
 	{"serve", "serving layer: batched table lookups + sharded store sweep", bench.ServeSweep},
+	{"serve-write", "mixed read/write workloads over the mutable store", bench.ServeWriteSweep},
 }
 
 func main() {

@@ -1,0 +1,109 @@
+// Mutable store walkthrough: the write path the source paper leaves
+// open. "Benchmarking Learned Indexes" evaluates learned structures as
+// static, read-only predictors; this example shows the repo's answer
+// to updates — per-shard delta buffers absorbing writes in front of
+// the learned index, with a background compactor merging them back and
+// rebuilding the model off the read path (the delta + compaction
+// design of learned-index LSM systems, see DESIGN.md "Write path").
+//
+// The walkthrough loads a dataset into a sharded store, measures the
+// clean batched-read latency, streams inserts while watching the delta
+// buffers fill and compactions fire, measures the read latency again
+// with deltas pending, then lets compaction drain and measures a third
+// time: the rebuild restores clean-read speed and makes every insert
+// part of the learned index.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+const (
+	n         = 200_000
+	inserts   = 40_000
+	threshold = 4_096
+	family    = "PGM"
+)
+
+// measureReads times batched lookups of present keys and reports mean
+// ns per lookup.
+func measureReads(st *serve.Store, probes []core.Key) float64 {
+	out := make([]uint64, 256)
+	// Warm up one pass, then time.
+	for pass := 0; pass < 2; pass++ {
+		start := time.Now()
+		for off := 0; off < len(probes); off += 256 {
+			end := off + 256
+			if end > len(probes) {
+				end = len(probes)
+			}
+			st.GetBatch(probes[off:end], out[:end-off])
+		}
+		if pass == 1 {
+			return float64(time.Since(start).Nanoseconds()) / float64(len(probes))
+		}
+	}
+	panic("unreachable")
+}
+
+func main() {
+	keys := dataset.MustGenerate(dataset.Amzn, n, 7)
+	payloads := dataset.Payloads(n, 7)
+	st, err := serve.New(keys, payloads, serve.Config{
+		Shards: 4, Family: family, CompactThreshold: threshold,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	fmt.Printf("store: %d keys, %d shards, %s indexes, compact threshold %d\n",
+		st.Len(), st.NumShards(), family, threshold)
+
+	probes := dataset.Lookups(keys, 50_000, 11)
+	clean := measureReads(st, probes)
+	fmt.Printf("clean read latency: %.0f ns/lookup (index %d KiB)\n\n", clean, st.SizeBytes()>>10)
+
+	// Stream inserts; the per-shard deltas fill and the background
+	// compactor swaps rebuilt indexes in as thresholds trip.
+	fresh := dataset.InsertKeys(keys, inserts, 13)
+	fmt.Println("streaming inserts:")
+	for i, k := range fresh {
+		st.Put(k, uint64(i)+1)
+		if (i+1)%10_000 == 0 {
+			fmt.Printf("  %6d inserts: pending delta %6d entries, compactions %d\n",
+				i+1, st.DeltaLen(), st.Compactions())
+		}
+	}
+	dirty := measureReads(st, probes)
+	fmt.Printf("\nread latency with %d pending delta entries: %.0f ns/lookup\n",
+		st.DeltaLen(), dirty)
+
+	// Let the background compactor finish whatever the stream queued,
+	// then force-merge the remainder (a checkpoint).
+	st.WaitCompactions()
+	if err := st.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	compacted := measureReads(st, probes)
+	fmt.Printf("after compaction (%d total, %.1f ms rebuild time): %.0f ns/lookup (index %d KiB)\n",
+		st.Compactions(), float64(st.CompactTime().Nanoseconds())/1e6, compacted, st.SizeBytes()>>10)
+
+	// Every insert is now served by the rebuilt learned indexes.
+	missing := 0
+	for i, k := range fresh {
+		if v, ok := st.Get(k); !ok || v != uint64(i)+1 {
+			missing++
+		}
+	}
+	fmt.Printf("inserts visible after compaction: %d/%d (store now %d keys, delta %d)\n",
+		inserts-missing, inserts, st.Len(), st.DeltaLen())
+	if missing > 0 {
+		log.Fatalf("%d inserts lost", missing)
+	}
+}

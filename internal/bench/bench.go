@@ -2,8 +2,10 @@
 // over the benchmark datasets, measures lookups under the paper's
 // regimes (warm tight loop, serialized "fenced" loop, cold cache,
 // multithreaded), and regenerates every table and figure of the
-// paper's evaluation (Section 4). See DESIGN.md for the experiment
-// index.
+// paper's evaluation (Section 4). Beyond the paper it measures the
+// repo's serving layer: batched and sharded lookup sweeps (serve) and
+// YCSB-style mixed read/write workloads over the mutable store
+// (serve-write). See DESIGN.md for the experiment index.
 package bench
 
 import (

@@ -124,3 +124,9 @@ func TestFig14ColdSlowerThanWarm(t *testing.T) {
 		t.Errorf("cold (%f) faster than warm (%f)", cold.NsPerLookup, warm.NsPerLookup)
 	}
 }
+
+func TestServeWriteSweepEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "serve-write", func() error { return ServeWriteSweep(&buf, tiny) }, &buf,
+		"Mixed read/write", "threshold sweep", "RMI", "PGM", "BTree", "zipf", "unif")
+}

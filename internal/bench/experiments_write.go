@@ -1,0 +1,199 @@
+package bench
+
+// The mixed read/write serving experiment: not a figure from the
+// paper, which evaluates learned indexes read-only and names update
+// support as the open problem. YCSB-style read/write mixes drive the
+// mutable store's delta-buffer write path, making the
+// rebuild-cost-vs-staleness tradeoff of compaction measurable per
+// index family (learned families re-tune and rebuild whole models;
+// the B-tree baseline bulk-loads).
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// YCSBTheta is the zipfian skew parameter of the YCSB core generator.
+const YCSBTheta = 0.99
+
+// MixedWorkload describes a YCSB-style operation mix over the mutable
+// store. Writes alternate between inserting a fresh key and updating a
+// present one; read and update keys follow the workload's distribution.
+type MixedWorkload struct {
+	Name     string
+	ReadFrac float64 // fraction of operations that are point reads
+	Zipfian  bool    // zipfian (theta=0.99) vs uniform key choice
+}
+
+// MixedWorkloads lists the experiment's YCSB-like mixes: A (50/50
+// read/write), B (95/5), and C (read-only), A and B under both zipfian
+// and uniform key choice.
+func MixedWorkloads() []MixedWorkload {
+	return []MixedWorkload{
+		{"A", 0.50, true},
+		{"A", 0.50, false},
+		{"B", 0.95, true},
+		{"B", 0.95, false},
+		{"C", 1.00, true},
+	}
+}
+
+// MixedResult summarizes one mixed-workload run.
+type MixedResult struct {
+	Ops, Reads, Writes int
+	ReadNs, WriteNs    float64 // mean per-operation latencies
+	OpsPerSec          float64
+	Compactions        uint64        // shard compactions completed during the run
+	CompactTime        time.Duration // wall time spent merging + rebuilding
+	DeltaLen           int           // pending entries at run end (staleness)
+	Checksum           uint64
+}
+
+// MeasureMixed drives ops operations against st from one client:
+// reads draw present keys under the workload's distribution, writes
+// alternate inserting a fresh key and updating a distribution-drawn
+// present one. Reads and writes interleave at the exact ReadFrac ratio
+// (Bresenham scheduling), so compactions triggered by the write stream
+// land in the middle of the measured read stream, as in a live system.
+func MeasureMixed(e *Env, st *serve.Store, ops int, wl MixedWorkload, seed uint64) MixedResult {
+	theta := 0.0
+	if wl.Zipfian {
+		theta = YCSBTheta
+	}
+	readKeys := dataset.ZipfLookups(e.Keys, ops, theta, seed)
+	nWrites := ops - int(float64(ops)*wl.ReadFrac)
+	var inserts []core.Key
+	if nWrites > 0 {
+		inserts = dataset.InsertKeys(e.Keys, nWrites/2+1, seed+1)
+	}
+
+	res := MixedResult{Ops: ops}
+	baseCompactions := st.Compactions()
+	baseCompactTime := st.CompactTime()
+	var readTime, writeTime time.Duration
+	ri, wi, ii := 0, 0, 0
+	acc := 0.0
+	start := time.Now()
+	for op := 0; op < ops; op++ {
+		acc += wl.ReadFrac
+		if acc >= 1 {
+			acc--
+			t0 := time.Now()
+			v, ok := st.Get(readKeys[ri])
+			readTime += time.Since(t0)
+			ri++
+			res.Reads++
+			if ok {
+				res.Checksum += v
+			}
+			continue
+		}
+		var key core.Key
+		if wi%2 == 0 {
+			key = inserts[ii]
+			ii++
+		} else {
+			key = readKeys[(ri+wi)%len(readKeys)]
+		}
+		t0 := time.Now()
+		st.Put(key, uint64(op)|1)
+		writeTime += time.Since(t0)
+		wi++
+		res.Writes++
+	}
+	elapsed := time.Since(start)
+	// Staleness is read at load stop; compaction counters after the
+	// background compactor drains what the run queued, so short runs do
+	// not under-report rebuild work still in flight.
+	res.DeltaLen = st.DeltaLen()
+	st.WaitCompactions()
+	if res.Reads > 0 {
+		res.ReadNs = float64(readTime.Nanoseconds()) / float64(res.Reads)
+	}
+	if res.Writes > 0 {
+		res.WriteNs = float64(writeTime.Nanoseconds()) / float64(res.Writes)
+	}
+	res.OpsPerSec = float64(ops) / elapsed.Seconds()
+	res.Compactions = st.Compactions() - baseCompactions
+	res.CompactTime = st.CompactTime() - baseCompactTime
+	return res
+}
+
+// writeDist renders a workload's key-choice distribution.
+func writeDist(wl MixedWorkload) string {
+	if wl.Zipfian {
+		return "zipf"
+	}
+	return "unif"
+}
+
+// ServeWriteSweep prints the mixed read/write experiment: YCSB-style
+// workloads per index family over the mutable sharded store, then a
+// compaction-threshold sweep exposing the rebuild-cost-vs-staleness
+// tradeoff.
+func ServeWriteSweep(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	e, err := o.env(dataset.Amzn)
+	if err != nil {
+		return err
+	}
+	ops := o.Lookups
+	const shards = 4
+	// Sized so workload A's write stream forces several compactions per
+	// shard within one run at default scale.
+	threshold := ops / 32
+	if threshold < 64 {
+		threshold = 64
+	}
+
+	fmt.Fprintf(w, "Mixed read/write workloads (amzn, mid-sweep configs, %d shards, compact threshold %d)\n",
+		shards, threshold)
+	fmt.Fprintf(w, "%-8s %-3s %-5s %6s %10s %9s %10s %8s %9s %7s\n",
+		"index", "wl", "dist", "read%", "kops/s", "read(ns)", "write(ns)", "compact", "cmp(ms)", "delta")
+	for _, family := range registry.WriteFamilies {
+		for _, wl := range MixedWorkloads() {
+			st, err := serve.New(e.Keys, e.Payloads, serve.Config{
+				Shards: shards, Family: family, CompactThreshold: threshold,
+			})
+			if err != nil {
+				return err
+			}
+			res := MeasureMixed(e, st, ops, wl, o.Seed)
+			fmt.Fprintf(w, "%-8s %-3s %-5s %6.0f %10.1f %9.1f %10.1f %8d %9.2f %7d\n",
+				family, wl.Name, writeDist(wl), wl.ReadFrac*100,
+				res.OpsPerSec/1e3, res.ReadNs, res.WriteNs,
+				res.Compactions, float64(res.CompactTime.Nanoseconds())/1e6, res.DeltaLen)
+			st.Close()
+		}
+	}
+
+	fmt.Fprintln(w, "\nCompaction threshold sweep (workload A, zipfian): rebuild cost vs staleness")
+	fmt.Fprintf(w, "%-8s %9s %10s %8s %9s %9s\n",
+		"index", "thresh", "kops/s", "compact", "cmp(ms)", "delta")
+	wlA := MixedWorkload{Name: "A", ReadFrac: 0.5, Zipfian: true}
+	for _, family := range registry.WriteFamilies {
+		for _, th := range []int{threshold / 4, threshold, threshold * 4} {
+			if th < 16 {
+				th = 16
+			}
+			st, err := serve.New(e.Keys, e.Payloads, serve.Config{
+				Shards: shards, Family: family, CompactThreshold: th,
+			})
+			if err != nil {
+				return err
+			}
+			res := MeasureMixed(e, st, ops, wlA, o.Seed)
+			fmt.Fprintf(w, "%-8s %9d %10.1f %8d %9.2f %9d\n",
+				family, th, res.OpsPerSec/1e3,
+				res.Compactions, float64(res.CompactTime.Nanoseconds())/1e6, res.DeltaLen)
+			st.Close()
+		}
+	}
+	return nil
+}

@@ -303,3 +303,70 @@ func TestRNGIntn(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestZipfLookups(t *testing.T) {
+	keys := MustGenerate(Amzn, 20000, 5)
+	m := 40000
+	lk := ZipfLookups(keys, m, 0.99, 9)
+	if len(lk) != m {
+		t.Fatalf("got %d lookups, want %d", len(lk), m)
+	}
+	counts := make(map[core.Key]int)
+	for _, x := range lk {
+		pos := core.LowerBound(keys, x)
+		if pos >= len(keys) || keys[pos] != x {
+			t.Fatalf("zipf lookup %d not a present key", x)
+		}
+		counts[x]++
+	}
+	// Skew: the hottest key must take far more than the uniform share
+	// (uniform expectation is m/n = 2), and the distinct-key count must
+	// be well below m.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Errorf("hottest key drew %d lookups; zipf(0.99) should concentrate far above uniform share 2", max)
+	}
+	// Determinism in the seed.
+	lk2 := ZipfLookups(keys, m, 0.99, 9)
+	for i := range lk {
+		if lk[i] != lk2[i] {
+			t.Fatal("ZipfLookups not deterministic in seed")
+		}
+	}
+	// theta <= 0 degrades to uniform: no key should dominate.
+	uni := ZipfLookups(keys, m, 0, 9)
+	uc := make(map[core.Key]int)
+	umax := 0
+	for _, x := range uni {
+		uc[x]++
+		if uc[x] > umax {
+			umax = uc[x]
+		}
+	}
+	if umax > 50 {
+		t.Errorf("uniform fallback has a %d-count hot key", umax)
+	}
+}
+
+func TestInsertKeys(t *testing.T) {
+	keys := MustGenerate(Wiki, 10000, 11)
+	ins := InsertKeys(keys, 5000, 13)
+	if len(ins) != 5000 {
+		t.Fatalf("got %d insert keys, want 5000", len(ins))
+	}
+	seen := make(map[core.Key]struct{}, len(ins))
+	for _, k := range ins {
+		if pos := core.LowerBound(keys, k); pos < len(keys) && keys[pos] == k {
+			t.Fatalf("insert key %d already present in the dataset", k)
+		}
+		if _, dup := seen[k]; dup {
+			t.Fatalf("duplicate insert key %d", k)
+		}
+		seen[k] = struct{}{}
+	}
+}

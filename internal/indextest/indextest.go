@@ -1,7 +1,11 @@
 // Package indextest provides shared validity-checking helpers for
 // index-structure test suites. Every index in the benchmark promises
 // the same contract — bounds containing the lower bound for arbitrary
-// lookup keys — so the probing logic lives here once.
+// lookup keys, present or absent, including the extremes of the key
+// space — so the oracle-driven probing logic lives here once and each
+// structure's tests call it over the benchmark datasets. A structure
+// that passes these checks can be dropped into the registry, the
+// table layer, and the serving store without further integration work.
 package indextest
 
 import (

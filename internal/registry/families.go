@@ -86,6 +86,20 @@ func init() {
 	Register("CuckooMap", func(keys []core.Key) []NamedBuilder {
 		return []NamedBuilder{{"lf=0.99", hashidx.CuckooBuilder{}}}
 	})
+
+	// Compaction rebuild hooks: the learned families re-pick their
+	// mid-sweep configuration over the merged key set — RMI re-runs its
+	// tuner, PGM/RS re-derive their ladders — because model sizing is a
+	// function of the data. Tree and hash families bulk-load with their
+	// existing configuration and need no hook.
+	for _, fam := range []string{"RMI", "PGM", "RS"} {
+		RegisterRebuild(fam, func(prev core.Builder, keys []core.Key) core.Builder {
+			if nb, ok := Builder(fam, keys); ok {
+				return nb.Builder
+			}
+			return prev
+		})
+	}
 }
 
 func strideSweep(mk func(int) core.Builder) SweepFunc {

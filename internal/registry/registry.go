@@ -79,6 +79,39 @@ func Builder(family string, keys []core.Key) (NamedBuilder, bool) {
 	return sweep[len(sweep)/2], true
 }
 
+// RebuildFunc produces the builder used when a serving shard is
+// compacted and its index rebuilt: prev is the builder that built the
+// shard's current index, keys the merged key set about to be indexed.
+// Families whose configuration is tuned per key set (the learned
+// structures) register one so compaction re-tunes; families without a
+// hook reuse prev, the cheap bulk-load path.
+type RebuildFunc func(prev core.Builder, keys []core.Key) core.Builder
+
+var rebuilds = map[string]RebuildFunc{}
+
+// RegisterRebuild adds a family's compaction rebuild hook. Like
+// Register, it panics on nil hooks and duplicate registrations.
+func RegisterRebuild(family string, fn RebuildFunc) {
+	if fn == nil {
+		panic(fmt.Sprintf("registry: nil rebuild hook for family %q", family))
+	}
+	if _, dup := rebuilds[family]; dup {
+		panic(fmt.Sprintf("registry: duplicate rebuild hook for family %q", family))
+	}
+	rebuilds[family] = fn
+}
+
+// RebuildBuilder returns the builder for re-indexing keys after a
+// compaction merge: the family's rebuild hook when registered,
+// otherwise prev unchanged. family values not in the catalog (custom
+// builders) always reuse prev.
+func RebuildBuilder(family string, prev core.Builder, keys []core.Key) core.Builder {
+	if fn, ok := rebuilds[family]; ok {
+		return fn(prev, keys)
+	}
+	return prev
+}
+
 // ParetoFamilies is the structure set of Figure 7.
 var ParetoFamilies = []string{"RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree", "FAST"}
 
@@ -98,3 +131,9 @@ var Fig16Families = []string{"RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree"
 // experiments: the three learned structures with a batched bound path
 // plus the classic tree baseline.
 var ServeFamilies = []string{"RMI", "PGM", "RS", "BTree"}
+
+// WriteFamilies is the family set of the mixed read/write serving
+// experiments: the learned structures (whose compactions re-tune and
+// rebuild whole models) against the B-tree baseline (whose rebuild is
+// a cheap bulk load).
+var WriteFamilies = []string{"RMI", "PGM", "RS", "BTree"}

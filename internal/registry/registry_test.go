@@ -92,3 +92,49 @@ func TestRegisterNilPanics(t *testing.T) {
 	}()
 	Register("SomethingNew", nil)
 }
+
+func TestRebuildBuilder(t *testing.T) {
+	keys := make([]core.Key, 2000)
+	for i := range keys {
+		keys[i] = core.Key(i)*7 + 3
+	}
+	// A family without a hook (trees bulk-load) reuses prev verbatim.
+	prevNB, ok := Builder("BTree", keys)
+	if !ok {
+		t.Fatal("no BTree builder")
+	}
+	if got := RebuildBuilder("BTree", prevNB.Builder, keys); got != prevNB.Builder {
+		t.Error("BTree rebuild did not reuse the previous builder")
+	}
+	// An unknown family (custom builder) also reuses prev.
+	if got := RebuildBuilder("NoSuchFamily", prevNB.Builder, keys); got != prevNB.Builder {
+		t.Error("unknown-family rebuild did not reuse the previous builder")
+	}
+	// Learned families re-tune: the hook must return a usable builder
+	// of the same family.
+	for _, fam := range []string{"RMI", "PGM", "RS"} {
+		nb, ok := Builder(fam, keys)
+		if !ok {
+			t.Fatalf("no %s builder", fam)
+		}
+		b := RebuildBuilder(fam, nb.Builder, keys)
+		if b == nil {
+			t.Fatalf("%s rebuild returned nil", fam)
+		}
+		if b.Name() != nb.Builder.Name() {
+			t.Errorf("%s rebuild switched family to %s", fam, b.Name())
+		}
+		if _, err := b.Build(keys); err != nil {
+			t.Errorf("%s rebuilt builder failed: %v", fam, err)
+		}
+	}
+}
+
+func TestRegisterRebuildDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterRebuild did not panic")
+		}
+	}()
+	RegisterRebuild("RMI", func(prev core.Builder, _ []core.Key) core.Builder { return prev })
+}

@@ -2,6 +2,13 @@
 // benchmark (Section 4.2.3 of the paper): given a valid search bound
 // produced by an index structure, locate the exact lower-bound position
 // of the lookup key using binary, linear, or interpolation search.
+//
+// Every consumer of an index — the measurement harness, the table
+// layer, the sharded store — finishes lookups through a pluggable Fn,
+// so the paper's index-vs-search-function cross product (Figure 11)
+// falls out of composition. Binary search is the robust default;
+// linear wins on very tight bounds (no branch mispredicts), and
+// interpolation wins when keys are near-uniform within the bound.
 package search
 
 import "repro/internal/core"

@@ -1,0 +1,323 @@
+package serve
+
+// The write path of the mutable Store: each shard carries a sorted,
+// immutable delta buffer of pending writes (upserts and tombstones) on
+// top of its immutable base table. Writers publish a new delta by
+// copy-on-write under the shard's single-writer lock; readers always
+// load one consistent (base, delta, frozen-delta) snapshot through the
+// shard's atomic pointer and merge on the fly. When a delta grows past
+// the compaction threshold it is frozen, merged into the base run off
+// the write lock, and the shard's index is rebuilt and republished in
+// one pointer swap. See DESIGN.md "Write path".
+
+import (
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// delta is an immutable sorted run of pending writes for one shard:
+// keys ascending and unique, vals the upserted payloads, tombs marking
+// deletions. A delta is never mutated after publication; writers derive
+// a new delta with `with` and swap the shard state pointer.
+type delta struct {
+	keys  []core.Key
+	vals  []uint64
+	tombs []bool
+}
+
+// emptyDelta is the shared zero-length delta; shard states never hold
+// a nil active delta, so readers skip nil checks on the hot path.
+var emptyDelta = &delta{}
+
+// len reports the number of pending entries (tombstones included).
+func (d *delta) len() int { return len(d.keys) }
+
+// get returns the pending write for key: ok reports whether the delta
+// holds an entry for key, tomb whether that entry is a deletion.
+func (d *delta) get(x core.Key) (val uint64, tomb, ok bool) {
+	pos := core.LowerBound(d.keys, x)
+	if pos < len(d.keys) && d.keys[pos] == x {
+		return d.vals[pos], d.tombs[pos], true
+	}
+	return 0, false, false
+}
+
+// with returns a new delta with the write applied: an existing entry
+// for key is replaced, otherwise the entry is inserted at its sorted
+// position. The receiver is not modified (copy-on-write), so readers
+// holding the old delta are unaffected. Cost is O(len), which the
+// compaction threshold keeps bounded.
+func (d *delta) with(key core.Key, val uint64, tomb bool) *delta {
+	pos := core.LowerBound(d.keys, key)
+	if pos < len(d.keys) && d.keys[pos] == key {
+		nd := &delta{
+			keys:  d.keys, // keys unchanged: share
+			vals:  make([]uint64, len(d.vals)),
+			tombs: make([]bool, len(d.tombs)),
+		}
+		copy(nd.vals, d.vals)
+		copy(nd.tombs, d.tombs)
+		nd.vals[pos] = val
+		nd.tombs[pos] = tomb
+		return nd
+	}
+	n := len(d.keys)
+	nd := &delta{
+		keys:  make([]core.Key, n+1),
+		vals:  make([]uint64, n+1),
+		tombs: make([]bool, n+1),
+	}
+	copy(nd.keys, d.keys[:pos])
+	copy(nd.vals, d.vals[:pos])
+	copy(nd.tombs, d.tombs[:pos])
+	nd.keys[pos], nd.vals[pos], nd.tombs[pos] = key, val, tomb
+	copy(nd.keys[pos+1:], d.keys[pos:])
+	copy(nd.vals[pos+1:], d.vals[pos:])
+	copy(nd.tombs[pos+1:], d.tombs[pos:])
+	return nd
+}
+
+// window returns the half-open sub-run of d with keys in [lo, hi).
+func (d *delta) window(lo, hi core.Key) (keys []core.Key, vals []uint64, tombs []bool) {
+	start := core.LowerBound(d.keys, lo)
+	end := core.LowerBound(d.keys, hi)
+	return d.keys[start:end], d.vals[start:end], d.tombs[start:end]
+}
+
+// overlay merges d under top: entries of top win on equal keys. It is
+// the recovery path when a compaction's index rebuild fails and the
+// frozen delta must fold back under the writes that arrived meanwhile.
+func (d *delta) overlay(top *delta) *delta {
+	if top.len() == 0 {
+		return d
+	}
+	if d.len() == 0 {
+		return top
+	}
+	nd := &delta{
+		keys:  make([]core.Key, 0, d.len()+top.len()),
+		vals:  make([]uint64, 0, d.len()+top.len()),
+		tombs: make([]bool, 0, d.len()+top.len()),
+	}
+	i, j := 0, 0
+	for i < d.len() || j < top.len() {
+		if j >= top.len() || (i < d.len() && d.keys[i] < top.keys[j]) {
+			nd.keys = append(nd.keys, d.keys[i])
+			nd.vals = append(nd.vals, d.vals[i])
+			nd.tombs = append(nd.tombs, d.tombs[i])
+			i++
+			continue
+		}
+		if i < d.len() && d.keys[i] == top.keys[j] {
+			i++
+		}
+		nd.keys = append(nd.keys, top.keys[j])
+		nd.vals = append(nd.vals, top.vals[j])
+		nd.tombs = append(nd.tombs, top.tombs[j])
+		j++
+	}
+	return nd
+}
+
+// sizeBytes reports the delta's memory footprint.
+func (d *delta) sizeBytes() int { return d.len() * 17 } // 8B key + 8B val + 1B tomb
+
+// mergeDelta merges a base run with a delta into a fresh sorted run:
+// delta entries shadow every base occurrence of their key (duplicate
+// base runs collapse to the single upserted value) and tombstoned keys
+// are dropped. The inputs are not modified.
+func mergeDelta(bk []core.Key, bv []uint64, d *delta) ([]core.Key, []uint64) {
+	outK := make([]core.Key, 0, len(bk)+d.len())
+	outV := make([]uint64, 0, len(bk)+d.len())
+	i, j := 0, 0
+	for i < len(bk) || j < d.len() {
+		if j >= d.len() || (i < len(bk) && bk[i] < d.keys[j]) {
+			outK = append(outK, bk[i])
+			outV = append(outV, bv[i])
+			i++
+			continue
+		}
+		x := d.keys[j]
+		for i < len(bk) && bk[i] == x {
+			i++ // shadowed by the delta entry
+		}
+		if !d.tombs[j] {
+			outK = append(outK, x)
+			outV = append(outV, d.vals[j])
+		}
+		j++
+	}
+	return outK, outV
+}
+
+// shardState is the atomically published read view of one shard: the
+// base table, the active delta absorbing writes, and (while a
+// compaction is in flight) the frozen delta being merged. Every
+// transition — write, freeze, publish, replace — installs a fresh
+// shardState under the shard's write lock, so a reader's single atomic
+// load always observes a mutually consistent triple.
+type shardState struct {
+	tab    *table.Table
+	del    *delta // active delta; emptyDelta when clean, never nil
+	frozen *delta // delta being compacted; nil when no merge in flight
+}
+
+// pending returns the newest pending write for key, consulting the
+// active delta first (newer writes shadow frozen ones).
+func (s *shardState) pending(x core.Key) (val uint64, tomb, ok bool) {
+	if v, tb, hit := s.del.get(x); hit {
+		return v, tb, true
+	}
+	if s.frozen != nil {
+		if v, tb, hit := s.frozen.get(x); hit {
+			return v, tb, true
+		}
+	}
+	return 0, false, false
+}
+
+// deltaLen reports the shard's pending entries across both buffers.
+func (s *shardState) deltaLen() int {
+	n := s.del.len()
+	if s.frozen != nil {
+		n += s.frozen.len()
+	}
+	return n
+}
+
+// get serves a merged point read: pending writes shadow the base.
+func (s *shardState) get(x core.Key) (uint64, bool) {
+	if v, tomb, ok := s.pending(x); ok {
+		if tomb {
+			return 0, false
+		}
+		return v, true
+	}
+	return s.tab.Get(x)
+}
+
+// getBatch serves a merged batched read: the base table's batched fast
+// path answers the bulk, then the (small, bounded) deltas overlay their
+// keys. The extra base probe per delta-hit key keeps the found count
+// exact without threading per-key presence out of table.GetBatch.
+func (s *shardState) getBatch(keys []core.Key, out []uint64) int {
+	found := s.tab.GetBatch(keys, out)
+	if s.del.len() == 0 && s.frozen == nil {
+		return found
+	}
+	for i, x := range keys {
+		v, tomb, ok := s.pending(x)
+		if !ok {
+			continue
+		}
+		if _, inBase := s.tab.Get(x); inBase {
+			found--
+		}
+		if tomb {
+			out[i] = 0
+		} else {
+			out[i] = v
+			found++
+		}
+	}
+	return found
+}
+
+// scan visits the shard's live pairs with key in [lo, hi) in ascending
+// order: a three-way merge of active delta, frozen delta, and base
+// table with precedence active > frozen > base and tombstones dropping
+// their key. Returns false when visit stopped the scan.
+func (s *shardState) scan(lo, hi core.Key, visit func(core.Key, uint64) bool) bool {
+	bk, bv := s.tab.Range(lo, hi)
+	ak, av, at := s.del.window(lo, hi)
+	var fk []core.Key
+	var fv []uint64
+	var ft []bool
+	if s.frozen != nil {
+		fk, fv, ft = s.frozen.window(lo, hi)
+	}
+	i, j, k := 0, 0, 0
+	for i < len(ak) || j < len(fk) || k < len(bk) {
+		// Smallest key among the three runs.
+		var x core.Key
+		switch {
+		case i < len(ak):
+			x = ak[i]
+		case j < len(fk):
+			x = fk[j]
+		default:
+			x = bk[k]
+		}
+		if j < len(fk) && fk[j] < x {
+			x = fk[j]
+		}
+		if k < len(bk) && bk[k] < x {
+			x = bk[k]
+		}
+		// Consume x from every run, keeping the highest-precedence value.
+		var v uint64
+		var tomb, have bool
+		if i < len(ak) && ak[i] == x {
+			v, tomb, have = av[i], at[i], true
+			i++
+		}
+		if j < len(fk) && fk[j] == x {
+			if !have {
+				v, tomb, have = fv[j], ft[j], true
+			}
+			j++
+		}
+		for k < len(bk) && bk[k] == x {
+			if !have {
+				v, have = bv[k], true
+			}
+			k++
+		}
+		if tomb {
+			continue
+		}
+		if !visit(x, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// liveLen reports the shard's live pair count: the base length adjusted
+// by each pending entry's effect (a tombstone removes every base
+// occurrence of its key; an upsert collapses a duplicate run to one
+// pair or adds a new key). Walks the union of active and frozen with
+// active shadowing frozen, mirroring the read path's precedence.
+func (s *shardState) liveLen() int {
+	n := s.tab.Len()
+	f := s.frozen
+	if f == nil {
+		f = emptyDelta
+	}
+	a := s.del
+	i, j := 0, 0
+	for i < a.len() || j < f.len() {
+		var x core.Key
+		var tomb bool
+		if j >= f.len() || (i < a.len() && a.keys[i] <= f.keys[j]) {
+			x, tomb = a.keys[i], a.tombs[i]
+			if j < f.len() && f.keys[j] == x {
+				j++
+			}
+			i++
+		} else {
+			x, tomb = f.keys[j], f.tombs[j]
+			j++
+		}
+		c := s.tab.CountKey(x)
+		switch {
+		case tomb:
+			n -= c
+		case c == 0:
+			n++
+		default:
+			n -= c - 1
+		}
+	}
+	return n
+}

@@ -1,15 +1,22 @@
 // Package serve implements the many-users serving scenario on top of
 // the table layer: a Store range-partitions the keyspace across N
 // shards, each an independent, atomically replaceable table.Table
-// built from any registered index family, and answers batched lookups
-// through a fixed goroutine pool.
+// built from any registered index family, answers batched lookups
+// through a fixed goroutine pool, and absorbs writes into per-shard
+// delta buffers that a background compactor merges back into the
+// learned indexes.
 //
-// Concurrency model: reads (Get, GetBatch) are lock-free — they load
-// each shard's current table through an atomic pointer — and may run
-// from any number of goroutines. Writes are single-writer per shard:
-// Replace serializes on a per-shard mutex, builds the new index off to
-// the side, and publishes it with one pointer swap, so readers never
-// block and never observe a half-built shard.
+// Concurrency model: reads (Get, GetBatch, Scan, Range) are lock-free —
+// they load each shard's current state (base table + delta buffers)
+// through one atomic pointer — and may run from any number of
+// goroutines. Writes are single-writer per shard: Put, Delete, and
+// Replace serialize on a per-shard mutex, derive the new state off to
+// the side (copy-on-write delta, or a freshly built table), and publish
+// it with one pointer swap, so readers never block and never observe a
+// half-applied write. Compaction freezes a shard's delta, merges and
+// rebuilds off the write lock (writes continue into a fresh active
+// delta), and republishes the shard with another swap. See DESIGN.md
+// "Write path".
 package serve
 
 import (
@@ -19,12 +26,19 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/registry"
 	"repro/internal/search"
 	"repro/internal/table"
 )
+
+// DefaultCompactThreshold is the per-shard pending-write count at which
+// background compaction kicks in when Config.CompactThreshold is zero.
+// It bounds both read-path overlay work and the copy-on-write cost of
+// individual writes.
+const DefaultCompactThreshold = 4096
 
 // Config configures a Store.
 type Config struct {
@@ -48,25 +62,39 @@ type Config struct {
 	// Workers is the goroutine-pool size serving batched lookups; 0
 	// defaults to min(Shards, runtime.NumCPU()).
 	Workers int
+
+	// CompactThreshold is the number of pending delta entries at which
+	// a shard is queued for background compaction. 0 defaults to
+	// DefaultCompactThreshold; negative disables background compaction
+	// entirely (writes still land, Compact merges on demand).
+	CompactThreshold int
 }
 
-// Store is a sharded key→payload store. See the package comment for
-// the concurrency model.
+// Store is a sharded, mutable key→payload store. See the package
+// comment for the concurrency model.
 type Store struct {
 	cfg        Config
 	seps       []core.Key // seps[i] = first key owned by shard i
-	shards     []atomic.Pointer[table.Table]
-	writeMu    []sync.Mutex // per-shard single-writer locks
+	shards     []atomic.Pointer[shardState]
+	writeMu    []sync.Mutex   // per-shard single-writer locks
+	builders   []core.Builder // last builder used per shard; guarded by writeMu
 	builderFor func(shard int, keys []core.Key) (core.Builder, error)
 
 	jobs      chan job
 	workersWG sync.WaitGroup
 	scratch   sync.Pool // *batchScratch
 	closed    atomic.Bool
+
+	compactC       chan int      // shard ids queued for background compaction
+	compactQueued  []atomic.Bool // per-shard: a request is already in compactC
+	compactWG      sync.WaitGroup
+	compactPending atomic.Int64 // queued or in-flight background requests
+	compactions    atomic.Uint64
+	compactNs      atomic.Int64
 }
 
 type job struct {
-	t     *table.Table
+	s     *shardState
 	keys  []core.Key
 	out   []uint64
 	found *atomic.Int64
@@ -113,6 +141,9 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 			cfg.Workers = ncpu
 		}
 	}
+	if cfg.CompactThreshold == 0 {
+		cfg.CompactThreshold = DefaultCompactThreshold
+	}
 
 	st := &Store{cfg: cfg, builderFor: cfg.BuilderFor}
 	if st.builderFor == nil {
@@ -147,8 +178,9 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 	}
 	nShards := len(starts)
 	st.seps = make([]core.Key, nShards)
-	st.shards = make([]atomic.Pointer[table.Table], nShards)
+	st.shards = make([]atomic.Pointer[shardState], nShards)
 	st.writeMu = make([]sync.Mutex, nShards)
+	st.builders = make([]core.Builder, nShards)
 
 	// Build shard tables concurrently: builds are independent and the
 	// learned families are CPU-bound.
@@ -169,7 +201,7 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 				errs[i] = err
 				return
 			}
-			st.shards[i].Store(t)
+			st.shards[i].Store(&shardState{tab: t, del: emptyDelta})
 		}(i, lo, hi)
 	}
 	wg.Wait()
@@ -185,14 +217,24 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 		st.workersWG.Add(1)
 		go st.worker()
 	}
+	// One compactor: merges are CPU-bound index rebuilds, and a single
+	// goroutine keeps them off the serving cores; requests queue.
+	st.compactC = make(chan int, 2*nShards)
+	st.compactQueued = make([]atomic.Bool, nShards)
+	st.compactWG.Add(1)
+	go st.compactor()
 	return st, nil
 }
 
+// buildShard picks (and records) the shard's builder and constructs its
+// table. Callers that can race hold writeMu[i]; during New each shard
+// is touched by exactly one goroutine.
 func (st *Store) buildShard(i int, keys []core.Key, payloads []uint64) (*table.Table, error) {
 	b, err := st.builderFor(i, keys)
 	if err != nil {
 		return nil, err
 	}
+	st.builders[i] = b
 	t, err := table.Build(b, keys, payloads, st.cfg.Search)
 	if err != nil {
 		return nil, fmt.Errorf("serve: shard %d: %w", i, err)
@@ -203,19 +245,22 @@ func (st *Store) buildShard(i int, keys []core.Key, payloads []uint64) (*table.T
 func (st *Store) worker() {
 	defer st.workersWG.Done()
 	for j := range st.jobs {
-		j.found.Add(int64(j.t.GetBatch(j.keys, j.out)))
+		j.found.Add(int64(j.s.getBatch(j.keys, j.out)))
 		j.wg.Done()
 	}
 }
 
-// Close stops the worker pool. Lookups must not be in flight or issued
-// after Close; shard tables remain readable through Get.
+// Close stops the worker pool and the background compactor. No reads
+// or writes may be in flight or issued after Close; shard states
+// remain readable through Get.
 func (st *Store) Close() {
 	if st.closed.Swap(true) {
 		return
 	}
 	close(st.jobs)
 	st.workersWG.Wait()
+	close(st.compactC)
+	st.compactWG.Wait()
 }
 
 // shardOf routes a key to the shard owning its range: the rightmost
@@ -232,38 +277,235 @@ func (st *Store) shardOf(x core.Key) int {
 // NumShards reports the number of range partitions actually built.
 func (st *Store) NumShards() int { return len(st.shards) }
 
-// Len reports the total number of key/payload pairs.
+// Len reports the total number of live key/payload pairs, counting
+// pending inserts and deletions not yet compacted.
 func (st *Store) Len() int {
 	total := 0
 	for i := range st.shards {
-		total += st.shards[i].Load().Len()
+		total += st.shards[i].Load().liveLen()
 	}
 	return total
 }
 
-// SizeBytes reports the summed index footprint across shards.
+// SizeBytes reports the summed index footprint across shards plus the
+// pending delta buffers.
 func (st *Store) SizeBytes() int {
 	total := 0
 	for i := range st.shards {
-		total += st.shards[i].Load().SizeBytes()
+		s := st.shards[i].Load()
+		total += s.tab.SizeBytes() + s.del.sizeBytes()
+		if s.frozen != nil {
+			total += s.frozen.sizeBytes()
+		}
 	}
 	return total
 }
 
-// Shard returns shard i's current table (a consistent immutable
-// snapshot; a concurrent Replace does not affect it).
-func (st *Store) Shard(i int) *table.Table { return st.shards[i].Load() }
+// DeltaLen reports the pending (uncompacted) write entries across all
+// shards — the staleness axis of the write-path tradeoff.
+func (st *Store) DeltaLen() int {
+	total := 0
+	for i := range st.shards {
+		total += st.shards[i].Load().deltaLen()
+	}
+	return total
+}
 
-// Get returns the payload for key, or false when absent.
+// Compactions reports the number of completed shard compactions
+// (background and manual).
+func (st *Store) Compactions() uint64 { return st.compactions.Load() }
+
+// CompactTime reports the cumulative wall time spent merging deltas
+// and rebuilding shard indexes — the rebuild-cost axis of the
+// write-path tradeoff.
+func (st *Store) CompactTime() time.Duration {
+	return time.Duration(st.compactNs.Load())
+}
+
+// Shard returns shard i's current base table (a consistent immutable
+// snapshot; pending delta writes are not reflected in it).
+func (st *Store) Shard(i int) *table.Table { return st.shards[i].Load().tab }
+
+// Get returns the live payload for key, or false when absent. Pending
+// writes shadow the base table.
 func (st *Store) Get(key core.Key) (uint64, bool) {
-	return st.shards[st.shardOf(key)].Load().Get(key)
+	return st.shards[st.shardOf(key)].Load().get(key)
+}
+
+// Put inserts or updates key with payload. The write is visible to
+// every subsequent read (same or other goroutines) as soon as Put
+// returns; it lands in the shard's delta buffer and is merged into the
+// shard's index by a later compaction.
+func (st *Store) Put(key core.Key, payload uint64) {
+	st.write(key, payload, false)
+}
+
+// Delete removes key. Deleting an absent key is a no-op that still
+// costs a tombstone until the next compaction.
+func (st *Store) Delete(key core.Key) {
+	st.write(key, 0, true)
+}
+
+func (st *Store) write(key core.Key, payload uint64, tomb bool) {
+	i := st.shardOf(key)
+	st.writeMu[i].Lock()
+	s := st.shards[i].Load()
+	ns := &shardState{tab: s.tab, del: s.del.with(key, payload, tomb), frozen: s.frozen}
+	st.shards[i].Store(ns)
+	trigger := st.cfg.CompactThreshold > 0 &&
+		ns.del.len() >= st.cfg.CompactThreshold && ns.frozen == nil
+	st.writeMu[i].Unlock()
+	if trigger {
+		st.requestCompact(i)
+	}
+}
+
+// requestCompact queues shard i for background compaction, at most one
+// outstanding request per shard (a burst of writes past the threshold
+// would otherwise flood the queue with duplicates and starve the other
+// shards). A dropped or deduplicated signal is recovered by the next
+// write past the threshold: the trigger re-fires on every such write.
+func (st *Store) requestCompact(i int) {
+	if st.closed.Load() {
+		return
+	}
+	if st.compactQueued[i].Swap(true) {
+		return // already queued
+	}
+	// Pending is raised before the send: the compactor may pop and
+	// finish the request immediately, and WaitCompactions must never
+	// observe a queued-or-running compaction as already drained.
+	st.compactPending.Add(1)
+	select {
+	case st.compactC <- i:
+	default: // unreachable at cap 2*shards, but never wedge
+		st.compactPending.Add(-1)
+		st.compactQueued[i].Store(false)
+	}
+}
+
+// WaitCompactions blocks until every background compaction queued so
+// far has completed. Unlike Compact it forces nothing: shards below
+// the threshold keep their deltas.
+func (st *Store) WaitCompactions() {
+	for st.compactPending.Load() > 0 {
+		runtime.Gosched()
+	}
+}
+
+// compactor drains the request queue. A shard whose active delta
+// refilled past the threshold during its own merge is re-compacted in
+// place (looping here rather than re-queueing keeps the compactor the
+// channel's only consumer and never a producer, so Close can close the
+// queue without racing a send). Rebuild errors fold the delta back and
+// stop the loop for that request; see compactShard.
+func (st *Store) compactor() {
+	defer st.compactWG.Done()
+	for i := range st.compactC {
+		st.compactQueued[i].Store(false)
+		for {
+			if err := st.compactShard(i); err != nil {
+				break
+			}
+			s := st.shards[i].Load()
+			if st.cfg.CompactThreshold <= 0 || s.frozen != nil ||
+				s.del.len() < st.cfg.CompactThreshold {
+				break
+			}
+		}
+		st.compactPending.Add(-1)
+	}
+}
+
+// compactShard freezes shard i's active delta, merges it with the base
+// run and rebuilds the shard's index off the write lock (writes
+// continue into a fresh active delta, readers continue on the frozen
+// snapshot), then publishes the merged table with one pointer swap —
+// the same build-aside machinery as Replace. A shard already being
+// compacted, or with nothing pending, is a no-op.
+func (st *Store) compactShard(i int) error {
+	st.writeMu[i].Lock()
+	s := st.shards[i].Load()
+	if s.frozen != nil || s.del.len() == 0 {
+		st.writeMu[i].Unlock()
+		return nil
+	}
+	frozen := s.del
+	st.shards[i].Store(&shardState{tab: s.tab, del: emptyDelta, frozen: frozen})
+	base := s.tab
+	builder := st.builders[i]
+	st.writeMu[i].Unlock()
+
+	start := time.Now()
+	keys, vals := mergeDelta(base.Keys(), base.Payloads(), frozen)
+	var nt *table.Table
+	var err error
+	if len(keys) == 0 {
+		nt = table.Empty(st.cfg.Search)
+	} else {
+		// Learned families re-tune for the merged key set via their
+		// registry rebuild hook; everyone else reuses the shard's builder.
+		b := registry.RebuildBuilder(builder.Name(), builder, keys)
+		nt, err = table.Build(b, keys, vals, st.cfg.Search)
+		if err == nil {
+			builder = b
+		}
+	}
+
+	st.writeMu[i].Lock()
+	s2 := st.shards[i].Load()
+	if s2.frozen != frozen {
+		// A Replace superseded the shard wholesale; drop the merge.
+		st.writeMu[i].Unlock()
+		return nil
+	}
+	if err != nil {
+		// Rebuild failed: fold the frozen delta back under the writes
+		// that arrived meanwhile so nothing is lost.
+		st.shards[i].Store(&shardState{tab: s2.tab, del: frozen.overlay(s2.del)})
+		st.writeMu[i].Unlock()
+		return fmt.Errorf("serve: compact shard %d: %w", i, err)
+	}
+	st.builders[i] = builder
+	st.shards[i].Store(&shardState{tab: nt, del: s2.del})
+	st.writeMu[i].Unlock()
+	st.compactions.Add(1)
+	st.compactNs.Add(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// Compact synchronously merges every shard's pending writes into its
+// base table, waiting out any in-flight background compactions. It is
+// safe alongside concurrent reads and writes, but it keeps re-merging
+// a shard until its delta is empty, so a continuous concurrent write
+// load can keep it from returning — quiesce writers when a
+// guaranteed-complete checkpoint is needed. Intended for checkpoints,
+// tests, and read-latency-sensitive phases.
+func (st *Store) Compact() error {
+	for i := range st.shards {
+		for {
+			s := st.shards[i].Load()
+			if s.frozen != nil {
+				runtime.Gosched() // background merge in flight; wait for its publish
+				continue
+			}
+			if s.del.len() == 0 {
+				break
+			}
+			if err := st.compactShard(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // GetBatch looks up a batch of keys across all shards: out[i] receives
-// the payload for keys[i] (0 when absent) and the number found is
+// the live payload for keys[i] (0 when absent) and the number found is
 // returned. Keys are gathered per shard, served by the worker pool as
-// one batched job per shard, and scattered back, so a batch touching
-// S shards runs on up to S workers concurrently.
+// one batched job per shard (base-table fast path plus delta overlay),
+// and scattered back, so a batch touching S shards runs on up to S
+// workers concurrently.
 func (st *Store) GetBatch(keys []core.Key, out []uint64) int {
 	n := len(keys)
 	if len(out) < n {
@@ -309,7 +551,7 @@ func (st *Store) GetBatch(keys []core.Key, out []uint64) int {
 		}
 		wg.Add(1)
 		st.jobs <- job{
-			t:     st.shards[sh].Load(),
+			s:     st.shards[sh].Load(),
 			keys:  s.gkeys[lo:hi],
 			out:   s.gout[lo:hi],
 			found: &found,
@@ -323,6 +565,45 @@ func (st *Store) GetBatch(keys []core.Key, out []uint64) int {
 	}
 	st.scratch.Put(s)
 	return int(found.Load())
+}
+
+// Scan visits the store's live pairs with key in [lo, hi) in ascending
+// key order, stopping early when visit returns false; it returns the
+// number of pairs visited. Each shard is scanned at one consistent
+// snapshot (pending writes merged in); the snapshots of different
+// shards are taken as the scan reaches them.
+func (st *Store) Scan(lo, hi core.Key, visit func(core.Key, uint64) bool) int {
+	if hi < lo {
+		hi = lo
+	}
+	n := 0
+	counting := func(k core.Key, v uint64) bool {
+		n++
+		return visit(k, v)
+	}
+	start := st.shardOf(lo)
+	for sh := start; sh < len(st.shards); sh++ {
+		if sh > start && st.seps[sh] >= hi {
+			break
+		}
+		if !st.shards[sh].Load().scan(lo, hi, counting) {
+			break
+		}
+	}
+	return n
+}
+
+// Range returns the store's live pairs with key in [lo, hi) as freshly
+// allocated slices, merged across shards and pending writes.
+func (st *Store) Range(lo, hi core.Key) ([]core.Key, []uint64) {
+	var ks []core.Key
+	var vs []uint64
+	st.Scan(lo, hi, func(k core.Key, v uint64) bool {
+		ks = append(ks, k)
+		vs = append(vs, v)
+		return true
+	})
+	return ks, vs
 }
 
 func (s *batchScratch) ensure(n, nShards int) {
@@ -344,12 +625,14 @@ func (s *batchScratch) ensure(n, nShards int) {
 	s.starts = s.starts[:nShards+1]
 }
 
-// Replace rebuilds shard i over new data. keys must be sorted, stay
-// within the shard's key range (first key equal to the shard's
-// separator, last key below the next separator), and match payloads in
-// length. Replace is the single-writer path: concurrent Replace calls
-// on one shard serialize, readers continue on the old table until the
-// atomic swap.
+// Replace rebuilds shard i over new data, discarding the shard's
+// pending delta writes (Replace supersedes them wholesale; an in-flight
+// compaction of the shard is abandoned at publish time). keys must be
+// sorted, stay within the shard's key range (first key equal to the
+// shard's separator, last key below the next separator), and match
+// payloads in length. Replace is the single-writer path: concurrent
+// writes on one shard serialize, readers continue on the old state
+// until the atomic swap.
 func (st *Store) Replace(i int, keys []core.Key, payloads []uint64) error {
 	if i < 0 || i >= len(st.shards) {
 		return fmt.Errorf("serve: no shard %d", i)
@@ -369,6 +652,6 @@ func (st *Store) Replace(i int, keys []core.Key, payloads []uint64) error {
 	if err != nil {
 		return err
 	}
-	st.shards[i].Store(t)
+	st.shards[i].Store(&shardState{tab: t, del: emptyDelta})
 	return nil
 }

@@ -57,8 +57,46 @@ func Build(b core.Builder, keys []core.Key, payloads []uint64, fn search.Fn) (*T
 	return New(keys, payloads, idx, fn)
 }
 
+// emptyIndex is the index of an empty table: every bound is the empty
+// run [0, 0).
+type emptyIndex struct{}
+
+func (emptyIndex) Lookup(core.Key) core.Bound { return core.Bound{} }
+func (emptyIndex) SizeBytes() int             { return 0 }
+func (emptyIndex) Name() string               { return "Empty" }
+
+// Empty returns a zero-length table (e.g. the result of compacting a
+// run whose every key was deleted). fn nil defaults to binary search.
+func Empty(fn search.Fn) *Table {
+	t, err := New(nil, nil, emptyIndex{}, fn)
+	if err != nil {
+		panic(err) // unreachable: nil slices satisfy every New invariant
+	}
+	return t
+}
+
 // Len reports the number of key/payload pairs.
 func (t *Table) Len() int { return len(t.keys) }
+
+// Keys returns the table's sorted key array as a view; callers must
+// not mutate it. It is the base-run input to the serving layer's
+// delta-merge compaction.
+func (t *Table) Keys() []core.Key { return t.keys }
+
+// Payloads returns the table's payload array as a view, parallel to
+// Keys; callers must not mutate it.
+func (t *Table) Payloads() []uint64 { return t.payloads }
+
+// CountKey reports the number of occurrences of key (0 when absent;
+// more than 1 only for duplicate-key tables).
+func (t *Table) CountKey(key core.Key) int {
+	pos := t.lowerBound(key)
+	n := 0
+	for pos+n < len(t.keys) && t.keys[pos+n] == key {
+		n++
+	}
+	return n
+}
 
 // Index returns the underlying search-bound index.
 func (t *Table) Index() core.Index { return t.idx }

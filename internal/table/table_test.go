@@ -205,3 +205,50 @@ func TestTableValidation(t *testing.T) {
 		t.Error("accessor inconsistency")
 	}
 }
+
+func TestTableViewsAndCount(t *testing.T) {
+	keys := []core.Key{1, 4, 4, 4, 9}
+	payloads := []uint64{10, 40, 41, 42, 90}
+	nb, _ := registry.Builder("BTree", keys)
+	tbl, err := Build(nb.Builder, keys, payloads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Keys(); len(got) != len(keys) || got[0] != 1 || got[4] != 9 {
+		t.Errorf("Keys view wrong: %v", got)
+	}
+	if got := tbl.Payloads(); len(got) != len(payloads) || got[0] != 10 {
+		t.Errorf("Payloads view wrong: %v", got)
+	}
+	for _, c := range []struct {
+		key  core.Key
+		want int
+	}{{1, 1}, {4, 3}, {9, 1}, {5, 0}, {0, 0}, {100, 0}} {
+		if got := tbl.CountKey(c.key); got != c.want {
+			t.Errorf("CountKey(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := Empty(nil)
+	if tbl.Len() != 0 || tbl.SizeBytes() != 0 {
+		t.Fatalf("Empty table: Len=%d SizeBytes=%d", tbl.Len(), tbl.SizeBytes())
+	}
+	if _, ok := tbl.Get(42); ok {
+		t.Error("Get on empty table found a key")
+	}
+	if _, ok := tbl.MinKey(); ok {
+		t.Error("MinKey on empty table ok")
+	}
+	if k, _ := tbl.Range(0, ^core.Key(0)); len(k) != 0 {
+		t.Error("Range on empty table non-empty")
+	}
+	out := make([]uint64, 3)
+	if found := tbl.GetBatch([]core.Key{1, 2, 3}, out); found != 0 {
+		t.Errorf("GetBatch on empty table found %d", found)
+	}
+	if tbl.CountKey(7) != 0 {
+		t.Error("CountKey on empty table non-zero")
+	}
+}
