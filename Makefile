@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet bench race serve serve-write examples doccheck
+.PHONY: tier1 vet bench bench-smoke race serve serve-write serve-tail examples doccheck
 
 # tier1 is the verify recipe: everything must build and every test pass.
 tier1:
@@ -13,9 +13,14 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGetBatch|BenchmarkServeSharded|BenchmarkServeMixed|BenchmarkTable2' -benchtime 200000x .
 
+# bench-smoke runs every benchmark in the repo exactly once so they
+# cannot bit-rot; no timing value, just the code paths.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
 # race runs the concurrency-sensitive packages under the race detector.
 race:
-	$(GO) test -race ./internal/serve/ ./internal/table/
+	$(GO) test -race ./internal/serve/ ./internal/table/ ./internal/stats/ ./internal/load/
 
 # serve prints the serving-layer experiment at a quick scale.
 serve:
@@ -24,6 +29,11 @@ serve:
 # serve-write prints the mixed read/write experiment at a quick scale.
 serve-write:
 	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-write
+
+# serve-tail prints the tail-latency experiment (closed vs open loop,
+# p50..p99.9 per family x workload x arrival rate) at a quick scale.
+serve-tail:
+	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-tail
 
 # examples builds every walkthrough under examples/.
 examples:

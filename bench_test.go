@@ -15,6 +15,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/load"
 	"repro/internal/perfsim"
 	"repro/internal/registry"
 	"repro/internal/search"
@@ -487,6 +488,67 @@ func BenchmarkServeMixed(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(st.Compactions()), "compactions")
+		})
+	}
+}
+
+// BenchmarkServeTail measures the mutable store under the tail-latency
+// generators on a YCSB-B-style 95/5 zipfian mix: a closed loop at
+// saturation, then an open loop offering half the measured capacity on
+// a Poisson schedule with latency measured from scheduled arrivals.
+// ns/op is wall time per operation; the tail metrics are the point of
+// the benchmark: p50/p99/p99.9 in ns alongside achieved kops/s.
+func BenchmarkServeTail(b *testing.B) {
+	e := serveEnv(b)
+	const readFrac, theta = 0.95, bench.YCSBTheta
+	workers := bench.TailWorkers()
+	for _, family := range serveBenchFamilies {
+		// Every run — capacity probe, closed, open — gets a fresh store,
+		// mirroring ServeTailSweep: earlier writes and compactions must
+		// not leak into later measurements.
+		newStore := func(b *testing.B) *serve.Store {
+			b.Helper()
+			st, err := serve.New(e.Keys, e.Payloads, serve.Config{
+				Shards: 4, Family: family, CompactThreshold: serve.DefaultCompactThreshold,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return st
+		}
+		// Capacity probe for the open loop's offered rate (fixed size,
+		// outside any timed loop, on its own store).
+		probeSt := newStore(b)
+		probe := load.RunClosed(probeSt, load.MixedOps(e.Keys, 20_000, readFrac, theta, 7),
+			load.Config{Workers: workers})
+		probeSt.Close()
+
+		reportTail := func(b *testing.B, res *load.Result) {
+			s := res.Hist.Summary()
+			b.ReportMetric(res.Throughput/1e3, "kops/s")
+			b.ReportMetric(float64(s.P50), "p50-ns")
+			b.ReportMetric(float64(s.P99), "p99-ns")
+			b.ReportMetric(float64(s.P999), "p99.9-ns")
+		}
+		b.Run(fmt.Sprintf("%s/closed", family), func(b *testing.B) {
+			st := newStore(b)
+			defer st.Close()
+			ops := load.MixedOps(e.Keys, b.N, readFrac, theta, 7)
+			b.ResetTimer()
+			res := load.RunClosed(st, ops, load.Config{Workers: workers})
+			b.StopTimer()
+			reportTail(b, res)
+		})
+		b.Run(fmt.Sprintf("%s/open50", family), func(b *testing.B) {
+			st := newStore(b)
+			defer st.Close()
+			ops := load.MixedOps(e.Keys, b.N, readFrac, theta, 7)
+			b.ResetTimer()
+			res := load.RunOpen(st, ops, load.Config{
+				Workers: workers, Rate: probe.Throughput / 2, Seed: 7,
+			})
+			b.StopTimer()
+			reportTail(b, res)
 		})
 	}
 }

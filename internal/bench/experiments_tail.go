@@ -1,0 +1,140 @@
+package bench
+
+// The tail-latency experiment: not a figure from the paper, whose
+// serving numbers are means over tight loops, but the measurement the
+// paper's serving claims actually need — per-operation latency
+// *distributions*. A closed loop reports each family's capacity and
+// latency under saturation; an open loop replays a fixed Poisson
+// arrival schedule at a sweep of rates and measures every operation
+// from its scheduled arrival, so queueing delay during compaction
+// stalls is charged to the requests that suffered it (no coordinated
+// omission). The output per family × workload × rate is a
+// throughput-vs-tail curve. See DESIGN.md "Measurement".
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/dataset"
+	"repro/internal/load"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// TailWorkloads lists the YCSB-style mixes of the tail experiment:
+// A (50/50), B (95/5), and C (read-only), all zipfian.
+func TailWorkloads() []MixedWorkload {
+	return []MixedWorkload{
+		{"A", 0.50, true},
+		{"B", 0.95, true},
+		{"C", 1.00, true},
+	}
+}
+
+// TailRateFractions are the open-loop offered rates of the sweep, as
+// fractions of the measured closed-loop capacity: comfortably below,
+// at half, and near saturation — the knee of the latency curve.
+var TailRateFractions = []float64{0.25, 0.5, 0.8}
+
+// TailWorkers sizes the generator pool for the tail experiments (and
+// the root BenchmarkServeTail): enough concurrency to saturate the
+// store without drowning the machine in pure scheduler overhead.
+func TailWorkers() int {
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// MeasureTail drives one tail-latency run against st: the workload's
+// operation stream (reads under its key distribution, writes
+// alternating fresh inserts and updates) generated from e, executed by
+// the open-loop generator when cfg.Rate > 0 and the closed-loop
+// generator otherwise. The result's histogram holds one latency per
+// operation — measured from scheduled arrival in the open loop.
+func MeasureTail(e *Env, st *serve.Store, wl MixedWorkload, ops int, cfg load.Config) *load.Result {
+	theta := 0.0
+	if wl.Zipfian {
+		theta = YCSBTheta
+	}
+	stream := load.MixedOps(e.Keys, ops, wl.ReadFrac, theta, cfg.Seed)
+	if cfg.Rate > 0 {
+		return load.RunOpen(st, stream, cfg)
+	}
+	return load.RunClosed(st, stream, cfg)
+}
+
+// tailRow prints one result line of the sweep.
+func tailRow(w io.Writer, family, wlName, loop string, offered float64, res *load.Result) {
+	s := res.Hist.Summary()
+	off := "-"
+	if offered > 0 {
+		off = fmt.Sprintf("%.0f", offered/1e3)
+	}
+	fmt.Fprintf(w, "%-8s %-3s %-7s %9s %10.1f %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+		family, wlName, loop, off, res.Throughput/1e3,
+		float64(s.P50)/1e3, float64(s.P90)/1e3, float64(s.P99)/1e3,
+		float64(s.P999)/1e3, float64(s.Max)/1e3)
+}
+
+// ServeTailSweep prints the tail-latency experiment: per index family
+// and YCSB-style workload, a closed-loop saturation run (capacity and
+// latency under full load) followed by open-loop runs at fractions of
+// that capacity — the throughput-vs-p99 curve. Each run gets a fresh
+// store so earlier writes and compactions cannot leak into later rows.
+func ServeTailSweep(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	e, err := o.env(dataset.Amzn)
+	if err != nil {
+		return err
+	}
+	ops := o.Lookups
+	const shards = 4
+	threshold := ops / 32
+	if threshold < 64 {
+		threshold = 64
+	}
+	workers := TailWorkers()
+
+	fmt.Fprintf(w, "Tail latency (amzn, mid-sweep configs, %d shards, %d workers, %d ops/run, compact threshold %d)\n",
+		shards, workers, ops, threshold)
+	fmt.Fprintln(w, "open-loop latency is measured from each operation's scheduled Poisson arrival (coordinated-omission-free); latencies in µs")
+	fmt.Fprintf(w, "%-8s %-3s %-7s %9s %10s %9s %9s %9s %9s %9s\n",
+		"index", "wl", "loop", "rate(k/s)", "kops/s", "p50", "p90", "p99", "p99.9", "max")
+	for _, family := range registry.WriteFamilies {
+		for _, wl := range TailWorkloads() {
+			newStore := func() (*serve.Store, error) {
+				return serve.New(e.Keys, e.Payloads, serve.Config{
+					Shards: shards, Family: family, CompactThreshold: threshold,
+				})
+			}
+
+			st, err := newStore()
+			if err != nil {
+				return err
+			}
+			closed := MeasureTail(e, st, wl, ops, load.Config{Workers: workers, Seed: o.Seed})
+			st.Close()
+			tailRow(w, family, wl.Name, "closed", 0, closed)
+
+			for _, frac := range TailRateFractions {
+				rate := frac * closed.Throughput
+				if rate <= 0 {
+					continue
+				}
+				st, err := newStore()
+				if err != nil {
+					return err
+				}
+				open := MeasureTail(e, st, wl, ops, load.Config{
+					Workers: workers, Rate: rate, Seed: o.Seed,
+				})
+				st.Close()
+				tailRow(w, family, wl.Name, fmt.Sprintf("open%.0f%%", frac*100), rate, open)
+			}
+		}
+	}
+	return nil
+}

@@ -125,6 +125,13 @@ func TestFig14ColdSlowerThanWarm(t *testing.T) {
 	}
 }
 
+func TestServeTailSweepEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	runExperiment(t, "serve-tail", func() error { return ServeTailSweep(&buf, tiny) }, &buf,
+		"Tail latency", "scheduled Poisson arrival", "p99.9", "closed", "open25%", "open80%",
+		"RMI", "PGM", "BTree")
+}
+
 func TestServeWriteSweepEndToEnd(t *testing.T) {
 	var buf bytes.Buffer
 	runExperiment(t, "serve-write", func() error { return ServeWriteSweep(&buf, tiny) }, &buf,

@@ -13,8 +13,8 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/load"
 	"repro/internal/registry"
 	"repro/internal/serve"
 )
@@ -61,51 +61,36 @@ type MixedResult struct {
 // present one. Reads and writes interleave at the exact ReadFrac ratio
 // (Bresenham scheduling), so compactions triggered by the write stream
 // land in the middle of the measured read stream, as in a live system.
+// The operation stream is load.MixedOps — the same stream the tail
+// experiments replay, keeping serve-write and serve-tail comparable.
 func MeasureMixed(e *Env, st *serve.Store, ops int, wl MixedWorkload, seed uint64) MixedResult {
 	theta := 0.0
 	if wl.Zipfian {
 		theta = YCSBTheta
 	}
-	readKeys := dataset.ZipfLookups(e.Keys, ops, theta, seed)
-	nWrites := ops - int(float64(ops)*wl.ReadFrac)
-	var inserts []core.Key
-	if nWrites > 0 {
-		inserts = dataset.InsertKeys(e.Keys, nWrites/2+1, seed+1)
-	}
+	stream := load.MixedOps(e.Keys, ops, wl.ReadFrac, theta, seed)
 
 	res := MixedResult{Ops: ops}
 	baseCompactions := st.Compactions()
 	baseCompactTime := st.CompactTime()
 	var readTime, writeTime time.Duration
-	ri, wi, ii := 0, 0, 0
-	acc := 0.0
 	start := time.Now()
-	for op := 0; op < ops; op++ {
-		acc += wl.ReadFrac
-		if acc >= 1 {
-			acc--
+	for _, op := range stream {
+		switch op.Kind {
+		case load.Get:
 			t0 := time.Now()
-			v, ok := st.Get(readKeys[ri])
+			v, ok := st.Get(op.Key)
 			readTime += time.Since(t0)
-			ri++
 			res.Reads++
 			if ok {
 				res.Checksum += v
 			}
-			continue
+		case load.Put:
+			t0 := time.Now()
+			st.Put(op.Key, op.Payload)
+			writeTime += time.Since(t0)
+			res.Writes++
 		}
-		var key core.Key
-		if wi%2 == 0 {
-			key = inserts[ii]
-			ii++
-		} else {
-			key = readKeys[(ri+wi)%len(readKeys)]
-		}
-		t0 := time.Now()
-		st.Put(key, uint64(op)|1)
-		writeTime += time.Since(t0)
-		wi++
-		res.Writes++
 	}
 	elapsed := time.Since(start)
 	// Staleness is read at load stop; compaction counters after the

@@ -1,0 +1,31 @@
+package dataset
+
+import "time"
+
+// Arrivals returns n request arrival offsets of a Poisson process with
+// the given mean rate (requests per second): offsets from the start of
+// the run, strictly increasing, with independent exponential
+// inter-arrival gaps. This is the arrival schedule of the open-loop
+// load generator (internal/load): measuring latency from these
+// scheduled instants rather than from actual send times is what makes
+// the measurement free of coordinated omission. Deterministic in seed;
+// rate must be positive.
+func Arrivals(n int, rate float64, seed uint64) []time.Duration {
+	if rate <= 0 {
+		panic("dataset: Arrivals rate must be positive")
+	}
+	r := newRNG(seed ^ 0xA221)
+	out := make([]time.Duration, n)
+	t := 0.0
+	prev := time.Duration(-1)
+	for i := range out {
+		t += r.exp() / rate // seconds
+		d := time.Duration(t * float64(time.Second))
+		if d <= prev {
+			d = prev + 1 // sub-ns gaps collapse at Duration resolution
+		}
+		out[i] = d
+		prev = d
+	}
+	return out
+}

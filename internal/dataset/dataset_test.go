@@ -3,6 +3,7 @@ package dataset
 import (
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/core"
 )
@@ -368,5 +369,34 @@ func TestInsertKeys(t *testing.T) {
 			t.Fatalf("duplicate insert key %d", k)
 		}
 		seen[k] = struct{}{}
+	}
+}
+
+func TestArrivals(t *testing.T) {
+	const n = 50_000
+	const rate = 100_000.0 // requests/sec
+	arr := Arrivals(n, rate, 3)
+	if len(arr) != n {
+		t.Fatalf("got %d arrivals, want %d", len(arr), n)
+	}
+	prev := time.Duration(-1)
+	for i, a := range arr {
+		if a <= prev {
+			t.Fatalf("arrival %d not increasing: %v after %v", i, a, prev)
+		}
+		prev = a
+	}
+	// The empirical rate of a Poisson process over n events concentrates
+	// around the target: n / T_n within a few percent at this n.
+	got := float64(n) / arr[n-1].Seconds()
+	if got < rate*0.95 || got > rate*1.05 {
+		t.Fatalf("empirical rate %.0f, want %.0f ± 5%%", got, rate)
+	}
+	// Deterministic in seed.
+	again := Arrivals(10, rate, 3)
+	for i := range again {
+		if again[i] != arr[i] {
+			t.Fatal("Arrivals not deterministic in seed")
+		}
 	}
 }

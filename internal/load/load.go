@@ -1,0 +1,295 @@
+// Package load implements the concurrent load generators of the
+// tail-latency experiments: closed-loop and open-loop drivers that
+// push mixed Get/GetBatch/Put operation streams into a serve.Store and
+// record per-operation latency into per-worker stats.Histograms.
+//
+// The two loops answer different questions. The closed loop (RunClosed)
+// keeps a fixed number of workers saturated — each issues its next
+// operation the instant the previous one returns — and so measures the
+// store's capacity and its latency *under saturation*. The open loop
+// (RunOpen) replays a Poisson arrival schedule fixed before the run:
+// each operation has a scheduled arrival instant, workers never issue
+// early, and latency is measured from the scheduled arrival, not from
+// the moment the operation was actually sent. A store that stalls
+// therefore keeps accumulating lateness for every request scheduled
+// during the stall — the measurement is free of coordinated omission,
+// unlike a closed loop, whose workers politely stop offering load
+// whenever the store backs up. See DESIGN.md "Measurement".
+//
+// Both runners spawn their workers, join them, and merge the
+// per-worker histograms before returning: no goroutine outlives the
+// call, even on early Stop.
+package load
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// Kind discriminates the operations of a workload stream.
+type Kind uint8
+
+const (
+	// Get is a point read of Key.
+	Get Kind = iota
+	// Put is an insert or update of Key with Payload.
+	Put
+)
+
+// Op is one operation of a workload stream.
+type Op struct {
+	Kind    Kind
+	Key     core.Key
+	Payload uint64
+}
+
+// Config configures a generator run.
+type Config struct {
+	// Workers is the number of concurrent generator goroutines; 0
+	// defaults to runtime.NumCPU().
+	Workers int
+
+	// Batch groups runs of consecutive read operations within one
+	// worker's stream into single GetBatch calls of at most Batch keys
+	// (each key in the batch is charged the batch's latency). 0 or 1
+	// issues per-key Gets. Ignored by the open loop, which dispatches
+	// every arrival individually.
+	Batch int
+
+	// Rate is the open loop's target aggregate arrival rate in
+	// operations per second; RunOpen requires it positive.
+	Rate float64
+
+	// Seed derives the open loop's Poisson arrival schedule.
+	Seed uint64
+
+	// Stop, when non-nil, aborts the run early: workers finish their
+	// in-flight operation, drain nothing further, and Run returns with
+	// the operations completed so far.
+	Stop <-chan struct{}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return c
+}
+
+// Result summarizes one generator run.
+type Result struct {
+	// Hist holds per-operation latencies, merged across workers. In the
+	// open loop a latency spans from the operation's scheduled arrival
+	// to its completion (queueing delay included).
+	Hist *stats.Histogram
+
+	// Ops, Reads, and Writes count completed operations.
+	Ops, Reads, Writes int
+
+	// Elapsed is the wall time of the whole run; Throughput is
+	// Ops/Elapsed in operations per second.
+	Elapsed    time.Duration
+	Throughput float64
+
+	// Checksum sums the payloads of found reads (the paper's
+	// keep-the-benchmark-honest device).
+	Checksum uint64
+}
+
+// worker accumulates one goroutine's share of a run; merged after join.
+type worker struct {
+	hist          stats.Histogram
+	reads, writes int
+	checksum      uint64
+}
+
+// merge folds per-worker results into one Result and computes rates.
+func mergeWorkers(ws []*worker, elapsed time.Duration) *Result {
+	res := &Result{Hist: &stats.Histogram{}, Elapsed: elapsed}
+	for _, w := range ws {
+		res.Hist.Merge(&w.hist)
+		res.Reads += w.reads
+		res.Writes += w.writes
+		res.Checksum += w.checksum
+	}
+	res.Ops = res.Reads + res.Writes
+	if elapsed > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	return res
+}
+
+// stopped reports whether cfg.Stop has fired (nil Stop never fires).
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// RunClosed drives ops through st with cfg.Workers saturated workers:
+// worker w executes ops[w], ops[w+W], ... back to back, timing each
+// operation (or each GetBatch flush) individually. All workers are
+// joined before RunClosed returns.
+func RunClosed(st *serve.Store, ops []Op, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	ws := make([]*worker, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range ws {
+		ws[i] = &worker{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			closedWorker(st, ops, cfg, w, ws[w])
+		}(i)
+	}
+	wg.Wait()
+	return mergeWorkers(ws, time.Since(start))
+}
+
+func closedWorker(st *serve.Store, ops []Op, cfg Config, w int, out *worker) {
+	keys := make([]core.Key, 0, cfg.Batch)
+	vals := make([]uint64, cfg.Batch)
+	flush := func() {
+		if len(keys) == 0 {
+			return
+		}
+		t0 := time.Now()
+		st.GetBatch(keys, vals[:len(keys)])
+		lat := time.Since(t0).Nanoseconds()
+		for _, v := range vals[:len(keys)] {
+			out.hist.Record(lat)
+			out.checksum += v
+			out.reads++
+		}
+		keys = keys[:0]
+	}
+	for i := w; i < len(ops); i += cfg.Workers {
+		if stopped(cfg.Stop) {
+			// Keys accumulated toward the next batch were never issued;
+			// an abort drops them rather than flushing one more call.
+			return
+		}
+		op := ops[i]
+		if op.Kind == Get && cfg.Batch > 1 {
+			keys = append(keys, op.Key)
+			if len(keys) == cfg.Batch {
+				flush()
+			}
+			continue
+		}
+		flush() // a write (or unbatched read) breaks the read run
+		t0 := time.Now()
+		switch op.Kind {
+		case Get:
+			v, ok := st.Get(op.Key)
+			out.hist.Record(time.Since(t0).Nanoseconds())
+			if ok {
+				out.checksum += v
+			}
+			out.reads++
+		case Put:
+			st.Put(op.Key, op.Payload)
+			out.hist.Record(time.Since(t0).Nanoseconds())
+			out.writes++
+		}
+	}
+	flush()
+}
+
+// sleepSlack is how far ahead of a scheduled arrival the open loop
+// stops sleeping and starts yield-spinning: time.Sleep routinely
+// overshoots by tens of microseconds, which at high arrival rates
+// would smear the schedule the measurement is defined against.
+const sleepSlack = 200 * time.Microsecond
+
+// RunOpen drives ops through st on a Poisson arrival schedule of
+// cfg.Rate operations per second (coordinated-omission-free): arrival
+// instants are fixed up front from cfg.Seed, worker w serves arrivals
+// w, w+W, ..., never issuing one early, and each operation's recorded
+// latency runs from its *scheduled* arrival to completion — a worker
+// running behind schedule executes late operations immediately and the
+// backlog wait lands in the histogram. All workers are joined before
+// RunOpen returns.
+func RunOpen(st *serve.Store, ops []Op, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	if cfg.Rate <= 0 {
+		panic("load: RunOpen requires a positive Rate")
+	}
+	arrivals := dataset.Arrivals(len(ops), cfg.Rate, cfg.Seed)
+	ws := make([]*worker, cfg.Workers)
+	var wg sync.WaitGroup
+	epoch := time.Now()
+	for i := range ws {
+		ws[i] = &worker{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			openWorker(st, ops, arrivals, epoch, cfg, w, ws[w])
+		}(i)
+	}
+	wg.Wait()
+	return mergeWorkers(ws, time.Since(epoch))
+}
+
+func openWorker(st *serve.Store, ops []Op, arrivals []time.Duration, epoch time.Time, cfg Config, w int, out *worker) {
+	for i := w; i < len(ops); i += cfg.Workers {
+		sched := epoch.Add(arrivals[i])
+		for {
+			if stopped(cfg.Stop) {
+				return
+			}
+			d := time.Until(sched)
+			if d <= 0 {
+				break
+			}
+			if d > sleepSlack {
+				wait := d - sleepSlack
+				if cfg.Stop != nil {
+					// The inter-arrival wait can span seconds at low
+					// rates; Stop must interrupt it, not wait it out.
+					t := time.NewTimer(wait)
+					select {
+					case <-cfg.Stop:
+						t.Stop()
+						return
+					case <-t.C:
+					}
+				} else {
+					time.Sleep(wait)
+				}
+			} else {
+				runtime.Gosched()
+			}
+		}
+		op := ops[i]
+		switch op.Kind {
+		case Get:
+			v, ok := st.Get(op.Key)
+			out.hist.Record(time.Since(sched).Nanoseconds())
+			if ok {
+				out.checksum += v
+			}
+			out.reads++
+		case Put:
+			st.Put(op.Key, op.Payload)
+			out.hist.Record(time.Since(sched).Nanoseconds())
+			out.writes++
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package load
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+func testStore(t testing.TB, n int) (*serve.Store, []core.Key, []uint64) {
+	t.Helper()
+	keys := dataset.MustGenerate(dataset.Amzn, n, 17)
+	payloads := make([]uint64, len(keys))
+	for i := range payloads {
+		payloads[i] = uint64(i)*3 + 7
+	}
+	st, err := serve.New(keys, payloads, serve.Config{Shards: 4, Family: "PGM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, keys, payloads
+}
+
+// oracleChecksum computes the expected read checksum of a stream run
+// serially against a map oracle: reads sum the current value of their
+// key, writes update it. With concurrent workers only the read-only
+// checksum is deterministic, so tests use readFrac=1 streams when
+// asserting it.
+func oracleChecksum(ops []Op, keys []core.Key, payloads []uint64) uint64 {
+	var sum uint64
+	for _, op := range ops {
+		if op.Kind != Get {
+			continue
+		}
+		pos := core.LowerBound(keys, op.Key)
+		if pos < len(keys) && keys[pos] == op.Key {
+			sum += payloads[pos]
+		}
+	}
+	return sum
+}
+
+func TestMixedOpsShape(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Amzn, 5000, 9)
+	for _, readFrac := range []float64{0, 0.5, 0.95, 1} {
+		ops := MixedOps(keys, 2000, readFrac, 0.99, 21)
+		if len(ops) != 2000 {
+			t.Fatalf("readFrac=%g: got %d ops", readFrac, len(ops))
+		}
+		reads := 0
+		for _, op := range ops {
+			if op.Kind == Get {
+				reads++
+			}
+		}
+		want := float64(len(ops)) * readFrac
+		if math.Abs(float64(reads)-want) > 1 {
+			t.Fatalf("readFrac=%g: %d reads, want ~%.0f", readFrac, reads, want)
+		}
+	}
+	// Deterministic in seed.
+	a := MixedOps(keys, 500, 0.5, 0.99, 21)
+	b := MixedOps(keys, 500, 0.5, 0.99, 21)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("MixedOps not deterministic in seed")
+		}
+	}
+}
+
+// TestRunClosedCorrectness checks a read-only closed-loop run end to
+// end: every op completes, the checksum matches the serial oracle, and
+// the histogram holds exactly one sample per op — for both the per-key
+// and the batched read path.
+func TestRunClosedCorrectness(t *testing.T) {
+	st, keys, payloads := testStore(t, 4000)
+	defer st.Close()
+	ops := MixedOps(keys, 3000, 1, 0.99, 5)
+	want := oracleChecksum(ops, keys, payloads)
+	for _, batch := range []int{1, 64} {
+		res := RunClosed(st, ops, Config{Workers: 4, Batch: batch})
+		if res.Ops != len(ops) || res.Reads != len(ops) || res.Writes != 0 {
+			t.Fatalf("batch=%d: ops=%d reads=%d writes=%d", batch, res.Ops, res.Reads, res.Writes)
+		}
+		if res.Checksum != want {
+			t.Fatalf("batch=%d: checksum %d, want %d", batch, res.Checksum, want)
+		}
+		if res.Hist.Count() != uint64(len(ops)) {
+			t.Fatalf("batch=%d: histogram holds %d samples, want %d", batch, res.Hist.Count(), len(ops))
+		}
+		if res.Throughput <= 0 || res.Elapsed <= 0 {
+			t.Fatalf("batch=%d: no throughput/elapsed", batch)
+		}
+	}
+}
+
+// TestRunClosedMixedWrites drives a 50/50 mix and verifies the writes
+// actually landed in the store.
+func TestRunClosedMixedWrites(t *testing.T) {
+	st, keys, _ := testStore(t, 4000)
+	defer st.Close()
+	ops := MixedOps(keys, 2000, 0.5, 0, 5)
+	res := RunClosed(st, ops, Config{Workers: 4})
+	if res.Writes == 0 || res.Reads == 0 {
+		t.Fatalf("mix degenerate: reads=%d writes=%d", res.Reads, res.Writes)
+	}
+	if res.Hist.Count() != uint64(res.Ops) {
+		t.Fatalf("histogram %d != ops %d", res.Hist.Count(), res.Ops)
+	}
+	for _, op := range ops {
+		if op.Kind != Put {
+			continue
+		}
+		if v, ok := st.Get(op.Key); !ok || v == 0 {
+			t.Fatalf("written key %d not readable (v=%d ok=%v)", op.Key, v, ok)
+		}
+	}
+}
+
+// TestRunOpenSchedule checks the open loop's defining property at a
+// modest rate: ops complete, latencies are measured from scheduled
+// arrivals (so the run lasts at least the schedule's span), and the
+// checksum matches.
+func TestRunOpenSchedule(t *testing.T) {
+	st, keys, payloads := testStore(t, 4000)
+	defer st.Close()
+	const n = 2000
+	const rate = 50_000.0
+	ops := MixedOps(keys, n, 1, 0, 5)
+	want := oracleChecksum(ops, keys, payloads)
+	res := RunOpen(st, ops, Config{Workers: 4, Rate: rate, Seed: 11})
+	if res.Ops != n || res.Checksum != want {
+		t.Fatalf("ops=%d checksum=%d, want %d/%d", res.Ops, res.Checksum, n, want)
+	}
+	if res.Hist.Count() != uint64(n) {
+		t.Fatalf("histogram holds %d samples, want %d", res.Hist.Count(), n)
+	}
+	// The schedule spans ~n/rate seconds; an open-loop run cannot finish
+	// faster than its last scheduled arrival.
+	minSpan := dataset.Arrivals(n, rate, 11)[n-1]
+	if res.Elapsed < minSpan {
+		t.Fatalf("run finished in %v, before the last scheduled arrival %v", res.Elapsed, minSpan)
+	}
+	// Achieved throughput approaches the offered rate when the store
+	// keeps up (generous bound: within a factor of two).
+	if res.Throughput < rate/2 {
+		t.Fatalf("achieved %.0f ops/s at offered %.0f", res.Throughput, rate)
+	}
+}
+
+// TestRunOpenMeasuresFromScheduledArrival pins the coordinated-omission
+// property: latency runs from the *scheduled* arrival, so when the
+// store cannot keep up, queueing delay accumulates across the backlog.
+// One worker at an absurd offered rate puts the whole schedule in the
+// past almost immediately — every operation is late, and the i-th
+// operation's recorded latency includes the service time of all i-1
+// operations queued ahead of it. A send-time (closed-loop) measurement
+// would instead report every operation at its bare service time, so
+// the signature of scheduled-arrival measurement is a max latency that
+// dwarfs the median.
+func TestRunOpenMeasuresFromScheduledArrival(t *testing.T) {
+	st, keys, _ := testStore(t, 4000)
+	defer st.Close()
+	const n = 2000
+	ops := MixedOps(keys, n, 1, 0, 5)
+
+	// Closed-loop reference: the bare per-operation service time.
+	closed := RunClosed(st, ops, Config{Workers: 1})
+
+	res := RunOpen(st, ops, Config{Workers: 1, Rate: 100_000_000, Seed: 3})
+	if res.Hist.Count() != uint64(n) {
+		t.Fatalf("histogram holds %d samples, want %d", res.Hist.Count(), n)
+	}
+	med, max := res.Hist.Quantile(0.5), res.Hist.Max()
+	// The median arrival waits out ~half the backlog — roughly n/2
+	// service times — so it must dwarf the closed-loop median, which a
+	// send-time measurement would have reported instead.
+	if med < 10*closed.Hist.Quantile(0.5) {
+		t.Fatalf("no queueing in open-loop median: open=%dns closed=%dns",
+			med, closed.Hist.Quantile(0.5))
+	}
+	// The last arrivals wait out nearly the whole run: the max must be
+	// on the order of the run's span (allowing bucket error and noise).
+	if max < res.Elapsed.Nanoseconds()/2 {
+		t.Fatalf("max latency %dns does not reflect the %v backlog", max, res.Elapsed)
+	}
+	if max < med {
+		t.Fatalf("max %dns below median %dns", max, med)
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline or the deadline passes, absorbing scheduler stragglers.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 64<<10)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGeneratorShutdownLeavesNoGoroutines is the satellite leak test:
+// after every generator variant returns — including an early abort via
+// Stop mid-run — the goroutine count returns to its pre-run baseline.
+func TestGeneratorShutdownLeavesNoGoroutines(t *testing.T) {
+	st, keys, _ := testStore(t, 4000)
+	defer st.Close()
+	ops := MixedOps(keys, 5000, 0.9, 0.99, 5)
+	st.WaitCompactions()
+	baseline := runtime.NumGoroutine()
+
+	RunClosed(st, ops, Config{Workers: 8, Batch: 32})
+	waitGoroutines(t, baseline)
+
+	RunOpen(st, ops, Config{Workers: 8, Rate: 2_000_000, Seed: 1})
+	waitGoroutines(t, baseline)
+
+	// Early abort: fire Stop while workers are mid-schedule at a rate
+	// slow enough that the run would otherwise take ~5s.
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(stop)
+	}()
+	res := RunOpen(st, ops, Config{Workers: 8, Rate: 1000, Seed: 1, Stop: stop})
+	if res.Ops >= len(ops) {
+		t.Fatalf("Stop did not abort early: %d ops completed", res.Ops)
+	}
+	waitGoroutines(t, baseline)
+
+	stop2 := make(chan struct{})
+	close(stop2) // already fired: closed loop must return almost empty
+	res2 := RunClosed(st, ops, Config{Workers: 4, Stop: stop2})
+	if res2.Ops >= len(ops) {
+		t.Fatalf("pre-fired Stop did not abort closed loop: %d ops", res2.Ops)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestGeneratorRace is the -race stress companion: closed and open
+// loops with writes enabled run against background compactions while a
+// reader polls store counters — any unsynchronized access in the
+// generator/store seam trips the detector.
+func TestGeneratorRace(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Amzn, 4000, 17)
+	payloads := make([]uint64, len(keys))
+	for i := range payloads {
+		payloads[i] = uint64(i) + 1
+	}
+	st, err := serve.New(keys, payloads, serve.Config{
+		Shards: 4, Family: "PGM", CompactThreshold: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = st.DeltaLen()
+				_ = st.Len()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	ops := MixedOps(keys, 4000, 0.5, 0.99, 5)
+	RunClosed(st, ops, Config{Workers: 8, Batch: 16})
+	RunOpen(st, ops, Config{Workers: 8, Rate: 500_000, Seed: 2})
+	close(stop)
+	st.WaitCompactions()
+}

@@ -1,0 +1,53 @@
+package load
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// MixedOps builds a YCSB-style operation stream over a sorted key set:
+// n operations of which a readFrac fraction are point reads of present
+// keys drawn under a scrambled-zipfian distribution with parameter
+// theta (theta <= 0 degrades to uniform), and the rest are writes
+// alternating between inserting a fresh absent key and updating a
+// distribution-drawn present one. Reads and writes interleave at the
+// exact ratio (Bresenham scheduling), matching bench.MeasureMixed, so
+// write-triggered compactions land mid-read-stream as in a live
+// system. Deterministic in seed.
+func MixedOps(keys []core.Key, n int, readFrac, theta float64, seed uint64) []Op {
+	if readFrac < 0 {
+		readFrac = 0
+	}
+	if readFrac > 1 {
+		readFrac = 1
+	}
+	readKeys := dataset.ZipfLookups(keys, n, theta, seed)
+	nWrites := n - int(float64(n)*readFrac)
+	var inserts []core.Key
+	if nWrites > 0 {
+		inserts = dataset.InsertKeys(keys, nWrites/2+1, seed+1)
+	}
+
+	ops := make([]Op, 0, n)
+	ri, wi, ii := 0, 0, 0
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += readFrac
+		if acc >= 1 {
+			acc--
+			ops = append(ops, Op{Kind: Get, Key: readKeys[ri]})
+			ri++
+			continue
+		}
+		var key core.Key
+		if wi%2 == 0 {
+			key = inserts[ii]
+			ii++
+		} else {
+			key = readKeys[(ri+wi)%len(readKeys)]
+		}
+		ops = append(ops, Op{Kind: Put, Key: key, Payload: uint64(i) | 1})
+		wi++
+	}
+	return ops
+}

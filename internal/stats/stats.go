@@ -1,8 +1,11 @@
-// Package stats implements the linear-regression analysis of Section
-// 4.3: ordinary least squares with an intercept, standardized
-// coefficients, R², and two-sided p-values from the Student
-// t-distribution (computed via the regularized incomplete beta
-// function, stdlib only).
+// Package stats implements the statistical machinery of the
+// benchmark: the linear-regression analysis of Section 4.3 (ordinary
+// least squares with an intercept, standardized coefficients, R², and
+// two-sided p-values from the Student t-distribution, computed via the
+// regularized incomplete beta function, stdlib only), and the
+// log-linear latency Histogram behind the tail-latency experiments
+// (lock-free recording, mergeable, quantiles with a documented
+// relative-error bound).
 package stats
 
 import (
