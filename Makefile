@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet bench bench-smoke race serve serve-write serve-tail examples doccheck
+.PHONY: tier1 vet bench bench-smoke race serve serve-write serve-tail persist fuzz-smoke examples doccheck
 
 # tier1 is the verify recipe: everything must build and every test pass.
 tier1:
@@ -18,9 +18,10 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# race runs the concurrency-sensitive packages under the race detector.
+# race runs the concurrency-sensitive packages under the race detector
+# (serve includes the snapshot/restore map-oracle suite).
 race:
-	$(GO) test -race ./internal/serve/ ./internal/table/ ./internal/stats/ ./internal/load/
+	$(GO) test -race ./internal/serve/ ./internal/table/ ./internal/stats/ ./internal/load/ ./internal/persist/
 
 # serve prints the serving-layer experiment at a quick scale.
 serve:
@@ -34,6 +35,20 @@ serve-write:
 # p50..p99.9 per family x workload x arrival rate) at a quick scale.
 serve-tail:
 	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-tail
+
+# persist prints the cold-vs-warm restart experiment at a quick scale.
+persist:
+	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 persist
+
+# fuzz-smoke runs every persistence fuzz target briefly (10s each):
+# truncated/bit-flipped snapshots, WALs, tables and manifests must
+# error, never panic or over-allocate.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run '^$$' -fuzz '^FuzzWAL$$' -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run '^$$' -fuzz '^FuzzTable$$' -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime $(FUZZTIME) ./internal/persist/
 
 # examples builds every walkthrough under examples/.
 examples:

@@ -553,6 +553,44 @@ func BenchmarkServeTail(b *testing.B) {
 	}
 }
 
+// BenchmarkPersistColdWarm measures time to a ready-to-serve store
+// from raw keys (cold: build + tune) vs from a snapshot (warm: load +
+// decode, no retraining) — the serving-layer form of the paper's
+// build-cost axis (Figures 9 and 17).
+func BenchmarkPersistColdWarm(b *testing.B) {
+	e := benchEnv(b, dataset.Amzn)
+	for _, family := range serveBenchFamilies {
+		b.Run(family+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := serve.New(e.Keys, e.Payloads, serve.Config{Shards: 4, Family: family})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.Close()
+			}
+		})
+		b.Run(family+"/warm", func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := serve.New(e.Keys, e.Payloads, serve.Config{Shards: 4, Family: family})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Snapshot(dir); err != nil {
+				b.Fatal(err)
+			}
+			st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				warm, err := serve.Open(dir, serve.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				warm.Close()
+			}
+		})
+	}
+}
+
 // BenchmarkPerfsimOverhead quantifies the simulator itself (not a
 // paper figure; a sanity number for the methodology).
 func BenchmarkPerfsimOverhead(b *testing.B) {

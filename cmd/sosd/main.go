@@ -9,7 +9,7 @@
 //
 // Experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 fig15 fig16a fig16b fig16c fig17 regress serve
-// serve-write serve-tail all
+// serve-write serve-tail persist all
 package main
 
 import (
@@ -47,6 +47,7 @@ var experiments = []struct {
 	{"serve", "serving layer: batched table lookups + sharded store sweep", bench.ServeSweep},
 	{"serve-write", "mixed read/write workloads over the mutable store", bench.ServeWriteSweep},
 	{"serve-tail", "tail latency: closed vs open-loop (Poisson) load, p50..p99.9 per arrival rate", bench.ServeTailSweep},
+	{"persist", "cold build-from-scratch vs warm load-from-snapshot per family", bench.PersistSweep},
 }
 
 func main() {

@@ -1,0 +1,141 @@
+package bench
+
+// The cold-start experiment: the paper's Figure-9/17 story — build and
+// tune cost as a first-class axis, with an auto-tuned RMI orders of
+// magnitude more expensive to produce than to use — retold at the
+// serving layer. Cold start builds (and for learned families, tunes)
+// every shard index from scratch; warm start loads a snapshot, decoding
+// trained parameters instead of retraining, exactly as SOSD caches
+// built indexes on disk to make its sweeps tractable. The gap is the
+// restart-latency win the persistence subsystem buys a server.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// PersistFamilies is the family set of the persist experiment: every
+// family with a registered snapshot codec, tuned RMI first (the
+// paper's extreme build-cost case), plus ART as the codec-less
+// rebuild-at-load baseline.
+var PersistFamilies = []string{"RMI", "PGM", "RS", "RBS", "BTree", "ART"}
+
+// PersistResult is one family's cold/warm measurement.
+type PersistResult struct {
+	Family     string
+	Cold       time.Duration // New: build + tune every shard from raw keys
+	SnapshotT  time.Duration // Snapshot: serialize tables + indexes + WALs
+	Warm       time.Duration // Open: load + decode, no retraining
+	DiskBytes  int64
+	Speedup    float64
+	IndexBytes int
+}
+
+// MeasurePersist measures one family's cold build vs warm load over
+// the environment's data, using dir for the snapshot.
+func MeasurePersist(e *Env, family string, shards int, dir string) (PersistResult, error) {
+	res := PersistResult{Family: family}
+
+	start := time.Now()
+	st, err := serve.New(e.Keys, e.Payloads, serve.Config{Shards: shards, Family: family})
+	if err != nil {
+		return res, err
+	}
+	res.Cold = time.Since(start)
+	res.IndexBytes = st.SizeBytes()
+
+	start = time.Now()
+	if err := st.Snapshot(dir); err != nil {
+		st.Close()
+		return res, err
+	}
+	res.SnapshotT = time.Since(start)
+	st.Close()
+	res.DiskBytes = dirSize(dir)
+
+	start = time.Now()
+	warm, err := serve.Open(dir, serve.Config{})
+	if err != nil {
+		return res, err
+	}
+	res.Warm = time.Since(start)
+
+	// Ready-to-serve means answering correctly: spot-check the warm
+	// store against ground truth before trusting the timing.
+	for i := 0; i < len(e.Lookups) && i < 1000; i++ {
+		x := e.Lookups[i]
+		wantV, wantOK := uint64(0), false
+		if pos := core.LowerBound(e.Keys, x); pos < len(e.Keys) && e.Keys[pos] == x {
+			wantV, wantOK = e.Payloads[pos], true
+		}
+		gotV, gotOK := warm.Get(x)
+		if gotV != wantV || gotOK != wantOK {
+			warm.Close()
+			return res, fmt.Errorf("persist: %s warm store wrong for key %d", family, x)
+		}
+	}
+	warm.Close()
+	res.Speedup = float64(res.Cold) / float64(res.Warm)
+	return res, nil
+}
+
+func dirSize(dir string) int64 {
+	var total int64
+	filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// PersistSweep prints the cold-vs-warm table: per family, time to a
+// ready-to-serve store from raw keys (cold) vs from a snapshot (warm),
+// with snapshot cost and on-disk size.
+func PersistSweep(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	e, err := o.env(dataset.Amzn)
+	if err != nil {
+		return err
+	}
+	const shards = 4
+	fmt.Fprintf(w, "Persistence: cold build vs warm snapshot load (amzn, n=%d, %d shards)\n", o.N, shards)
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %10s %10s\n",
+		"index", "cold(ms)", "warm(ms)", "speedup", "snap(ms)", "disk(MB)")
+	for _, family := range PersistFamilies {
+		if !registry.Has(family) {
+			continue
+		}
+		dir, err := os.MkdirTemp("", "sosd-persist-*")
+		if err != nil {
+			return err
+		}
+		res, err := MeasurePersist(e, family, shards, dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			return err
+		}
+		note := ""
+		if _, ok := registry.CodecFor(family); !ok {
+			note = "  (no codec: rebuilt at load)"
+		}
+		fmt.Fprintf(w, "%-8s %12.1f %12.1f %11.1fx %10.1f %10.2f%s\n",
+			family,
+			float64(res.Cold.Microseconds())/1000,
+			float64(res.Warm.Microseconds())/1000,
+			res.Speedup,
+			float64(res.SnapshotT.Microseconds())/1000,
+			float64(res.DiskBytes)/(1<<20),
+			note)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+// Package binio provides the little-endian wire primitives shared by
+// every on-disk encoder and decoder of the persistence subsystem: a
+// Writer that accumulates a running CRC64 alongside the bytes it emits,
+// and a bounded Reader over an in-memory buffer whose every allocation
+// is guarded by the bytes actually remaining, so a decoder fed
+// truncated or bit-flipped input returns an error instead of panicking
+// or allocating unbounded memory.
+package binio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+)
+
+// CRCTable is the CRC64 polynomial table used by every persisted
+// artifact (ECMA, the same polynomial as xz and RocksDB's crc64).
+var CRCTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorrupt is the sentinel wrapped by every decode failure, so
+// callers can distinguish corruption from I/O errors with errors.Is.
+var ErrCorrupt = errors.New("corrupt data")
+
+// Corruptf builds an ErrCorrupt-wrapped error.
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// Writer emits little-endian primitives to an underlying io.Writer,
+// tracking a running CRC64 of everything written and holding the first
+// error (sticky), so encode paths can write unconditionally and check
+// once at the end.
+type Writer struct {
+	w   io.Writer
+	crc uint64
+	n   int64
+	err error
+	buf [8]byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(p); err != nil {
+		w.err = err
+		return
+	}
+	w.crc = crc64.Update(w.crc, CRCTable, p)
+	w.n += int64(len(p))
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) {
+	w.buf[0] = v
+	w.write(w.buf[:1])
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// I64 writes a little-endian int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 writes an IEEE-754 float64, little-endian.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes writes raw bytes (no length prefix).
+func (w *Writer) Bytes(p []byte) { w.write(p) }
+
+// Str writes a uint32 length prefix followed by the string bytes.
+func (w *Writer) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.write([]byte(s))
+}
+
+// Sum64 returns the CRC64 of everything written so far.
+func (w *Writer) Sum64() uint64 { return w.crc }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int64 { return w.n }
+
+// Err returns the first underlying write error, or nil.
+func (w *Writer) Err() error { return w.err }
+
+// Reader consumes little-endian primitives from an in-memory buffer.
+// Every accessor returns the zero value once the reader has errored
+// (truncation or a failed guard), and Err reports the first failure.
+// Decoders must size allocations through Count, which refuses any
+// element count whose minimum encoding exceeds the remaining bytes —
+// the guard that turns a hostile 4-byte "length" into an error instead
+// of a multi-gigabyte allocation.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf.
+func NewReader(buf []byte) *Reader { return &Reader{b: buf} }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b)-r.off < n {
+		r.err = Corruptf("truncated: need %d bytes, %d remain", n, len(r.b)-r.off)
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// FiniteF64 reads a float64 and errors on NaN or infinity — persisted
+// model parameters are always finite, so a non-finite value is
+// corruption, and rejecting it here keeps decoded indexes out of
+// undefined float-to-int conversions.
+func (r *Reader) FiniteF64() float64 {
+	v := r.F64()
+	if r.err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		r.err = Corruptf("non-finite float")
+		return 0
+	}
+	return v
+}
+
+// Bytes reads exactly n raw bytes (a view into the buffer, not a copy).
+func (r *Reader) Bytes(n int) []byte { return r.take(n) }
+
+// Str reads a uint32-length-prefixed string, refusing lengths beyond
+// the remaining bytes (so a corrupt prefix cannot trigger a huge
+// allocation) or beyond maxLen.
+func (r *Reader) Str(maxLen int) string {
+	n := int(r.U32())
+	if r.err != nil {
+		return ""
+	}
+	if n > maxLen {
+		r.err = Corruptf("string length %d exceeds limit %d", n, maxLen)
+		return ""
+	}
+	p := r.take(n)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// Count reads a uint32 element count and validates that count*elemSize
+// bytes could still follow in the buffer. It is the mandatory gate in
+// front of every count-driven allocation.
+func (r *Reader) Count(elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n < 0 || n > r.Remaining()/elemSize {
+		r.err = Corruptf("count %d exceeds %d remaining bytes (elem %dB)", n, r.Remaining(), elemSize)
+		return 0
+	}
+	return n
+}
+
+// Remaining reports the unconsumed byte count.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// Offset reports the bytes consumed so far.
+func (r *Reader) Offset() int { return r.off }
+
+// CRCSoFar returns the CRC64 of every byte consumed so far.
+func (r *Reader) CRCSoFar() uint64 {
+	return crc64.Checksum(r.b[:r.off], CRCTable)
+}
+
+// Fail records err (if the reader has not already failed).
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Err returns the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }

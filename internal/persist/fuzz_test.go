@@ -1,0 +1,259 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/binio"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/registry"
+)
+
+// fuzzKeys is the small key set the seed corpus encodes over.
+func fuzzKeys() []core.Key {
+	return dataset.MustGenerate(dataset.Amzn, 400, 99)
+}
+
+// seedIndexFrames returns one encoded index frame per codec family.
+func seedIndexFrames(tb testing.TB) map[string][]byte {
+	keys := fuzzKeys()
+	out := map[string][]byte{}
+	for _, family := range registry.CodecFamilies() {
+		nb, ok := registry.Builder(family, keys)
+		if !ok {
+			tb.Fatalf("%s: no builder", family)
+		}
+		idx, err := nb.Builder.Build(keys)
+		if err != nil {
+			tb.Fatalf("%s: %v", family, err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeIndex(binio.NewWriter(&buf), idx); err != nil {
+			tb.Fatalf("%s: encode: %v", family, err)
+		}
+		out[family] = buf.Bytes()
+	}
+	return out
+}
+
+// FuzzDecode feeds arbitrary bytes to every index decoder: the first
+// byte routes to the framed DecodeIndex path (0) or directly into one
+// family's codec decoder, and the rest is the payload. The contract
+// under fuzz: an error or a structurally usable index — never a panic,
+// never an allocation beyond the input's own size class.
+func FuzzDecode(f *testing.F) {
+	frames := seedIndexFrames(f)
+	families := registry.CodecFamilies()
+	for _, fam := range families {
+		f.Add(append([]byte{0}, frames[fam]...))
+	}
+	for fi, fam := range families {
+		// Raw codec payload: strip the frame header (magic, version,
+		// tag) and trailing checksum to seed the direct decoder path.
+		frame := frames[fam]
+		body := frame[8+4+4+len(fam) : len(frame)-8]
+		f.Add(append([]byte{byte(fi + 1)}, body...))
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		sel, payload := data[0], data[1:]
+		var idx core.Index
+		var err error
+		if sel == 0 {
+			idx, err = DecodeIndex(payload)
+		} else {
+			codec, _ := registry.CodecFor(families[int(sel-1)%len(families)])
+			idx, err = codec.Decode(binio.NewReader(payload))
+		}
+		if err != nil {
+			if idx != nil {
+				t.Fatalf("decoder returned both an index and an error: %v", err)
+			}
+			return
+		}
+		if idx == nil {
+			t.Fatal("decoder returned nil index with nil error")
+		}
+		// A successfully decoded index must survive lookups across the
+		// key space without panicking and produce ordered bounds.
+		for _, x := range []core.Key{0, 1, 1 << 20, 1 << 40, ^core.Key(0)} {
+			b := idx.Lookup(x)
+			if b.Lo < 0 || b.Lo > b.Hi {
+				t.Fatalf("decoded index produced malformed bound %v for %d", b, x)
+			}
+		}
+		_ = idx.SizeBytes()
+	})
+}
+
+// FuzzWAL feeds arbitrary bytes to the WAL replayer.
+func FuzzWAL(f *testing.F) {
+	seed := encodeSeedWAL(f, []Op{{Key: 1, Val: 2}, {Key: 3, Tomb: true}})
+	f.Add(seed)
+	f.Add(seed[:len(seed)-5]) // torn tail
+	f.Add([]byte("sosdWAL1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, validLen, err := ReplayWAL(data)
+		if err != nil {
+			return
+		}
+		if validLen < walHeaderLen || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d outside [header, %d]", validLen, len(data))
+		}
+		// Replay is deterministic and the valid prefix replays to the
+		// same ops.
+		ops2, validLen2, err2 := ReplayWAL(data[:validLen])
+		if err2 != nil || validLen2 != validLen || len(ops2) != len(ops) {
+			t.Fatalf("replay of valid prefix diverged: %v, %d vs %d ops", err2, len(ops2), len(ops))
+		}
+	})
+}
+
+func encodeSeedWAL(tb testing.TB, ops []Op) []byte {
+	tb.Helper()
+	dir := tb.(interface{ TempDir() string }).TempDir()
+	path := filepath.Join(dir, "seed.wal")
+	w, err := CreateWAL(path, ops)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzTable feeds arbitrary bytes to the table loader.
+func FuzzTable(f *testing.F) {
+	keys := fuzzKeys()
+	payloads := make([]uint64, len(keys))
+	for i := range payloads {
+		payloads[i] = uint64(i)
+	}
+	path := filepath.Join(f.TempDir(), "seed.tab")
+	if err := WriteTable(path, keys, payloads); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:4096])
+	f.Add([]byte("sosdTAB1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gk, gp, err := ReadTableFrom(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		if len(gk) != len(gp) {
+			t.Fatalf("keys/payloads length diverged: %d vs %d", len(gk), len(gp))
+		}
+		if !core.IsSorted(gk) {
+			t.Fatal("loader returned unsorted keys")
+		}
+	})
+}
+
+// FuzzManifest feeds arbitrary bytes to the manifest decoder; a
+// successful decode must re-encode to a byte-identical manifest.
+func FuzzManifest(f *testing.F) {
+	m := &Manifest{
+		Family: "PGM",
+		Shards: []ShardMeta{
+			{Sep: 0, Codec: "PGM/eps=64", Table: "shard-0000.tab", Index: "shard-0000.idx", WAL: "shard-0000.wal"},
+			{Sep: 9999, Codec: "PGM/eps=64", Table: "shard-0001.tab", WAL: "shard-0001.wal"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeManifest(binio.NewWriter(&buf), m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("sosdMAN1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if err := EncodeManifest(binio.NewWriter(&re), got); err != nil {
+			t.Fatalf("re-encode of decoded manifest failed: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data) {
+			t.Fatalf("manifest round-trip not byte-identical")
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz when PERSIST_WRITE_CORPUS=1 — run it after a format
+// change and commit the result so `go test -fuzz` always starts from
+// valid artifacts of the current version.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("PERSIST_WRITE_CORPUS") == "" {
+		t.Skip("set PERSIST_WRITE_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	write := func(target, name string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames := seedIndexFrames(t)
+	families := registry.CodecFamilies()
+	for fi, fam := range families {
+		write("FuzzDecode", "frame-"+fam, append([]byte{0}, frames[fam]...))
+		frame := frames[fam]
+		body := frame[8+4+4+len(fam) : len(frame)-8]
+		write("FuzzDecode", "raw-"+fam, append([]byte{byte(fi + 1)}, body...))
+		// A truncated and a bit-flipped variant per family keep the
+		// error paths in the corpus too.
+		write("FuzzDecode", "trunc-"+fam, append([]byte{0}, frames[fam][:len(frames[fam])/2]...))
+		flipped := append([]byte{0}, frames[fam]...)
+		flipped[len(flipped)/2] ^= 0x20
+		write("FuzzDecode", "flip-"+fam, flipped)
+	}
+
+	wal := encodeSeedWAL(t, []Op{{Key: 7, Val: 8}, {Key: 9, Tomb: true}, {Key: 10, Val: 11}})
+	write("FuzzWAL", "clean", wal)
+	write("FuzzWAL", "torn", wal[:len(wal)-9])
+	flippedWAL := append([]byte(nil), wal...)
+	flippedWAL[walHeaderLen+walRecordLen+4] ^= 1
+	write("FuzzWAL", "flipped", flippedWAL)
+
+	keys := fuzzKeys()
+	payloads := make([]uint64, len(keys))
+	path := filepath.Join(t.TempDir(), "c.tab")
+	if err := WriteTable(path, keys, payloads); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("FuzzTable", "clean", tab)
+	write("FuzzTable", "trunc", tab[:5000])
+
+	var mbuf bytes.Buffer
+	m := &Manifest{Family: "RMI", Shards: []ShardMeta{{Sep: 0, Codec: "RMI/rmi[linear,linear,B=64]", Table: "shard-0000.tab", Index: "shard-0000.idx", WAL: "shard-0000.wal"}}}
+	if err := EncodeManifest(binio.NewWriter(&mbuf), m); err != nil {
+		t.Fatal(err)
+	}
+	write("FuzzManifest", "clean", mbuf.Bytes())
+	fmt.Println("fuzz corpus regenerated")
+}

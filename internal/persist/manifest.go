@@ -1,0 +1,157 @@
+package persist
+
+// The snapshot manifest: the root artifact of a store snapshot,
+// naming every shard's boundary separator, its codec tag (the
+// deterministic registry config ID that built its index), and its
+// table/index/WAL file names. The manifest rename is the snapshot's
+// commit point — shard files are written first, so a crash anywhere
+// leaves either the complete old snapshot or the complete new one.
+
+import (
+	"os"
+
+	"repro/internal/binio"
+	"repro/internal/core"
+)
+
+var manifestMagic = []byte("sosdMAN1")
+
+// ManifestName is the manifest's file name inside a snapshot directory.
+const ManifestName = "MANIFEST"
+
+// ShardMeta describes one persisted shard.
+type ShardMeta struct {
+	// Sep is the first key owned by the shard (the store's boundary
+	// metadata, identical to serve.Store's separator array).
+	Sep core.Key
+	// Codec is the registry config ID ("family" or "family/label") of
+	// the builder that produced the shard's index. Its family part
+	// selects the decode codec; the label lets a rebuild re-select the
+	// exact catalog entry.
+	Codec string
+	// Table, Index and WAL are file names inside the snapshot
+	// directory. Index is empty when the shard has no encodable index
+	// (no registered codec, or an empty table) and must be rebuilt
+	// from the loaded keys.
+	Table, Index, WAL string
+}
+
+// Manifest is a complete snapshot description.
+type Manifest struct {
+	// Family is the store-level default index family (serve.Config.Family).
+	Family string
+	// Gen is the commit generation: every manifest commit writes its
+	// shard files under fresh generation-suffixed names and bumps Gen,
+	// so a crash mid-commit can never pair files of different
+	// generations — the old manifest still names the complete old set.
+	Gen    uint64
+	Shards []ShardMeta
+}
+
+// minShardWire is the smallest possible encoded shard entry, used as
+// the allocation guard for the shard count.
+const minShardWire = 8 + 4*4
+
+// EncodeManifest writes the manifest with the standard frame: magic,
+// version, body, trailing CRC64.
+func EncodeManifest(w *binio.Writer, m *Manifest) error {
+	w.Bytes(manifestMagic)
+	w.U32(FormatVersion)
+	w.Str(m.Family)
+	w.U64(m.Gen)
+	w.U32(uint32(len(m.Shards)))
+	for _, s := range m.Shards {
+		w.U64(s.Sep)
+		w.Str(s.Codec)
+		w.Str(s.Table)
+		w.Str(s.Index)
+		w.Str(s.WAL)
+	}
+	w.U64(w.Sum64())
+	return w.Err()
+}
+
+// DecodeManifest parses and validates a manifest image.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	body, err := checkCRCFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	r := binio.NewReader(body)
+	if string(r.Bytes(len(manifestMagic))) != string(manifestMagic) {
+		return nil, binio.Corruptf("persist: bad manifest magic")
+	}
+	if v := r.U32(); v != FormatVersion {
+		return nil, binio.Corruptf("persist: manifest format version %d, want %d", v, FormatVersion)
+	}
+	m := &Manifest{Family: r.Str(maxTagLen)}
+	m.Gen = r.U64()
+	n := r.Count(minShardWire)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, binio.Corruptf("persist: manifest has no shards")
+	}
+	m.Shards = make([]ShardMeta, n)
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		s.Sep = r.U64()
+		s.Codec = r.Str(maxTagLen)
+		s.Table = r.Str(maxTagLen)
+		s.Index = r.Str(maxTagLen)
+		s.WAL = r.Str(maxTagLen)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, binio.Corruptf("persist: %d trailing bytes after manifest", r.Remaining())
+	}
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		if i > 0 && s.Sep <= m.Shards[i-1].Sep {
+			return nil, binio.Corruptf("persist: shard separators not increasing at %d", i)
+		}
+		if s.Table == "" || s.WAL == "" {
+			return nil, binio.Corruptf("persist: shard %d missing table or wal file name", i)
+		}
+		for _, name := range []string{s.Table, s.Index, s.WAL} {
+			if !safeFileName(name) {
+				return nil, binio.Corruptf("persist: shard %d file name %q escapes the snapshot directory", i, name)
+			}
+		}
+	}
+	return m, nil
+}
+
+// safeFileName accepts only bare names: a manifest must not be able to
+// point the loader outside its own directory.
+func safeFileName(name string) bool {
+	if name == "" {
+		return true // empty index name = rebuild marker
+	}
+	if name == "." || name == ".." {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' || name[i] == '\\' || name[i] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteManifest atomically commits the manifest to path.
+func WriteManifest(path string, m *Manifest) error {
+	return AtomicWrite(path, func(w *binio.Writer) error { return EncodeManifest(w, m) })
+}
+
+// ReadManifest loads and validates the manifest at path.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeManifest(data)
+}

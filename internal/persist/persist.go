@@ -1,0 +1,178 @@
+// Package persist is the durability layer of the serving stack: a
+// versioned, checksummed, little-endian binary format for built
+// indexes (via the per-family codecs in internal/registry), table data
+// (block-aligned so large runs load through io.ReaderAt without an
+// intermediate copy), per-shard write-ahead logs, and the snapshot
+// manifest tying them together. serve.Store composes these into
+// Snapshot/Open; this package owns only the bytes.
+//
+// Crash-safety discipline, used by every artifact: files are written
+// to a temp name in the destination directory, fsynced, renamed into
+// place, and the directory fsynced — a reader never observes a
+// half-written file, only the old version or the new one. Every file
+// carries a magic string, a format version, and a trailing CRC64 over
+// its full contents (tables checksum each block separately so the
+// header can be validated without streaming the data twice). Decoders
+// validate every structural invariant and size every allocation
+// against the bytes actually present, so corrupt or truncated input
+// returns an error wrapped in binio.ErrCorrupt — never a panic, never
+// an unbounded allocation. See DESIGN.md "Persistence".
+package persist
+
+import (
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+
+	"repro/internal/binio"
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// Format version, bumped on any incompatible layout change. Decoders
+// reject other versions rather than guessing.
+const FormatVersion = 1
+
+// maxTagLen bounds manifest/frame strings (family tags, config IDs,
+// file names) — anything longer is corruption.
+const maxTagLen = 4096
+
+var indexMagic = []byte("sosdIDX1")
+
+// AtomicWrite writes a file via temp + fsync + rename + directory
+// fsync, the commit discipline shared by every persisted artifact.
+// write receives a binio.Writer over the temp file.
+func AtomicWrite(path string, write func(w *binio.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := binio.NewWriter(tmp)
+	if err = write(w); err != nil {
+		return err
+	}
+	if err = w.Err(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best-effort on platforms where directories cannot be fsynced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		// Some filesystems return EINVAL for directory fsync; treat any
+		// sync failure as best-effort rather than failing the commit.
+		return nil
+	}
+	return nil
+}
+
+// EncodeIndex frames and writes a built index: magic, version, the
+// family codec tag, the codec payload, and a trailing CRC64 over
+// everything preceding it. Families without a registered codec (and
+// the zero-size empty-table index) cannot be encoded; callers fall
+// back to rebuild-at-load for those.
+func EncodeIndex(w *binio.Writer, idx core.Index) error {
+	family := idx.Name()
+	codec, ok := registry.CodecFor(family)
+	if !ok {
+		return fmt.Errorf("persist: no codec for index family %q", family)
+	}
+	w.Bytes(indexMagic)
+	w.U32(FormatVersion)
+	w.Str(family)
+	if err := codec.Encode(idx, w); err != nil {
+		return err
+	}
+	w.U64(w.Sum64())
+	return w.Err()
+}
+
+// DecodeIndex reconstructs a built index from an encoded frame,
+// verifying magic, version, and checksum before handing the payload to
+// the family decoder. The whole frame must be consumed — trailing
+// garbage is corruption.
+func DecodeIndex(data []byte) (core.Index, error) {
+	if len(data) < len(indexMagic)+4+4+8 {
+		return nil, binio.Corruptf("persist: index frame too short (%d bytes)", len(data))
+	}
+	body, err := checkCRCFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	r := binio.NewReader(body)
+	if string(r.Bytes(len(indexMagic))) != string(indexMagic) {
+		return nil, binio.Corruptf("persist: bad index magic")
+	}
+	if v := r.U32(); v != FormatVersion {
+		return nil, binio.Corruptf("persist: index format version %d, want %d", v, FormatVersion)
+	}
+	family := r.Str(maxTagLen)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	codec, ok := registry.CodecFor(family)
+	if !ok {
+		return nil, binio.Corruptf("persist: no codec for index family %q", family)
+	}
+	idx, err := codec.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, binio.Corruptf("persist: %d trailing bytes after index payload", r.Remaining())
+	}
+	return idx, nil
+}
+
+// WriteIndex atomically writes an index frame to path.
+func WriteIndex(path string, idx core.Index) error {
+	return AtomicWrite(path, func(w *binio.Writer) error { return EncodeIndex(w, idx) })
+}
+
+// ReadIndex loads and decodes an index frame from path.
+func ReadIndex(path string) (core.Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeIndex(data)
+}
+
+// checkCRCFrame verifies a file whose last 8 bytes are the CRC64 of
+// everything before them, returning the body.
+func checkCRCFrame(data []byte) ([]byte, error) {
+	if len(data) < 8 {
+		return nil, binio.Corruptf("persist: frame shorter than its checksum")
+	}
+	body := data[:len(data)-8]
+	r := binio.NewReader(data[len(data)-8:])
+	want := r.U64()
+	if got := crc64.Checksum(body, binio.CRCTable); got != want {
+		return nil, binio.Corruptf("persist: checksum mismatch (have %x, want %x)", got, want)
+	}
+	return body, nil
+}

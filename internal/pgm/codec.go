@@ -1,0 +1,94 @@
+package pgm
+
+// Binary codec for built PGM indexes: the full level hierarchy plus the
+// verified data-level margins are serialized, so Decode reconstructs a
+// ready index without re-running the segment corridor. Little-endian
+// via binio; framing and checksums live in package persist.
+
+import (
+	"repro/internal/binio"
+)
+
+// segWireBytes is the wire footprint of one segment (key, slope, pos),
+// used for allocation guards.
+const segWireBytes = 8 + 8 + 4
+
+// Encode writes the built index to w.
+func (idx *Index) Encode(w *binio.Writer) error {
+	w.U32(uint32(idx.eps))
+	w.U64(uint64(idx.n))
+	w.U32(uint32(len(idx.levels)))
+	for _, lvl := range idx.levels {
+		w.U32(uint32(len(lvl)))
+		for _, s := range lvl {
+			w.U64(s.Key)
+			w.F64(s.Slope)
+			w.U32(uint32(s.Pos))
+		}
+	}
+	for _, v := range idx.dataErrLo {
+		w.U32(uint32(v))
+	}
+	for _, v := range idx.dataErrHi {
+		w.U32(uint32(v))
+	}
+	return w.Err()
+}
+
+// Decode reconstructs a built index from r without refitting. All
+// invariants the descent relies on (non-empty levels, margin arrays
+// sized to the data level) are re-validated.
+func Decode(r *binio.Reader) (*Index, error) {
+	eps := int(r.U32())
+	n := r.U64()
+	nLevels := r.Count(4 + segWireBytes) // every level carries >=1 segment
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	const maxN = 1 << 48
+	if n == 0 || n > maxN {
+		return nil, binio.Corruptf("pgm: implausible key count %d", n)
+	}
+	if eps < 1 || nLevels < 1 {
+		return nil, binio.Corruptf("pgm: eps %d, levels %d", eps, nLevels)
+	}
+	idx := &Index{eps: eps, n: int(n)}
+	idx.levels = make([][]Segment, 0, nLevels)
+	for li := 0; li < nLevels; li++ {
+		m := r.Count(segWireBytes)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if m < 1 {
+			return nil, binio.Corruptf("pgm: empty level %d", li)
+		}
+		lvl := make([]Segment, m)
+		for i := range lvl {
+			lvl[i].Key = r.U64()
+			lvl[i].Slope = r.FiniteF64()
+			lvl[i].Pos = int32(r.U32())
+		}
+		idx.levels = append(idx.levels, lvl)
+	}
+	m0 := len(idx.levels[0])
+	if r.Remaining() < 8*m0 {
+		return nil, binio.Corruptf("pgm: truncated margin arrays")
+	}
+	idx.dataErrLo = make([]int32, m0)
+	idx.dataErrHi = make([]int32, m0)
+	for i := range idx.dataErrLo {
+		idx.dataErrLo[i] = int32(r.U32())
+	}
+	for i := range idx.dataErrHi {
+		idx.dataErrHi[i] = int32(r.U32())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for i := range idx.dataErrLo {
+		if idx.dataErrLo[i] < 0 || idx.dataErrHi[i] < 0 {
+			return nil, binio.Corruptf("pgm: negative data margin at segment %d", i)
+		}
+	}
+	return idx, nil
+}

@@ -1,0 +1,67 @@
+package rbs
+
+// Binary codec for built radix-binary-search tables. Little-endian via
+// binio; framing and checksums live in package persist.
+
+import (
+	"repro/internal/binio"
+)
+
+// Encode writes the built table to w.
+func (idx *Index) Encode(w *binio.Writer) error {
+	w.U32(uint32(idx.radixBits))
+	w.U64(uint64(idx.n))
+	w.U64(idx.minKey)
+	w.U32(uint32(idx.shift))
+	w.U32(uint32(len(idx.table)))
+	for _, v := range idx.table {
+		w.U32(uint32(v))
+	}
+	return w.Err()
+}
+
+// Decode reconstructs a built table from r, re-validating the offsets:
+// Lookup turns two adjacent entries directly into a search bound, so
+// entries must be non-decreasing and confined to [0, n].
+func Decode(r *binio.Reader) (*Index, error) {
+	radixBits := int(r.U32())
+	n := r.U64()
+	minKey := r.U64()
+	shift := r.U32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	const maxN = 1 << 48
+	if n == 0 || n > maxN {
+		return nil, binio.Corruptf("rbs: implausible key count %d", n)
+	}
+	if radixBits < 1 || radixBits > 28 {
+		return nil, binio.Corruptf("rbs: radix bits %d out of range", radixBits)
+	}
+	if shift > 63 {
+		return nil, binio.Corruptf("rbs: shift %d", shift)
+	}
+	size := r.Count(4)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if size != 1<<radixBits+1 {
+		return nil, binio.Corruptf("rbs: table has %d entries, want %d", size, 1<<radixBits+1)
+	}
+	idx := &Index{radixBits: radixBits, n: int(n), minKey: minKey, shift: uint(shift)}
+	idx.table = make([]int32, size)
+	for i := range idx.table {
+		idx.table[i] = int32(r.U32())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	prev := int32(0)
+	for i, v := range idx.table {
+		if v < prev || uint64(v) > n {
+			return nil, binio.Corruptf("rbs: table entry %d = %d invalid (prev %d, n %d)", i, v, prev, n)
+		}
+		prev = v
+	}
+	return idx, nil
+}

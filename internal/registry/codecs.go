@@ -1,0 +1,123 @@
+package registry
+
+// The codec catalog: families that can serialize their built indexes
+// register an encode/decode pair here, keyed by family name — the tag
+// stored in snapshot manifests. Decode reconstructs a ready core.Index
+// from trained parameters without retraining, which is what makes warm
+// restarts skip the (for learned families, dominant) build cost.
+// Families without a codec still snapshot: the persistence layer falls
+// back to recording the key data only and rebuilding the index at load.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/binio"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/pgm"
+	"repro/internal/rbs"
+	"repro/internal/rmi"
+	"repro/internal/rs"
+)
+
+// Codec serializes one family's built indexes. Encode writes the index
+// state (trained model parameters, tables, tree entries) to w; Decode
+// reconstructs a ready index, validating every structural invariant so
+// corrupt input yields an error, never a panic or unbounded allocation.
+type Codec struct {
+	Encode func(idx core.Index, w *binio.Writer) error
+	Decode func(r *binio.Reader) (core.Index, error)
+}
+
+var codecs = map[string]Codec{}
+
+// RegisterCodec adds a family's codec to the catalog, panicking on nil
+// hooks or duplicates (catalog assembly is init-time, where failing
+// loudly is the only useful behaviour).
+func RegisterCodec(family string, c Codec) {
+	if c.Encode == nil || c.Decode == nil {
+		panic(fmt.Sprintf("registry: incomplete codec for family %q", family))
+	}
+	if _, dup := codecs[family]; dup {
+		panic(fmt.Sprintf("registry: duplicate codec for family %q", family))
+	}
+	codecs[family] = c
+}
+
+// CodecFor returns the codec registered for a family; ok is false when
+// the family has none (the rebuild-at-load fallback applies).
+func CodecFor(family string) (Codec, bool) {
+	c, ok := codecs[family]
+	return c, ok
+}
+
+// CodecFamilies returns every family with a registered codec, sorted.
+func CodecFamilies() []string {
+	out := make([]string, 0, len(codecs))
+	for name := range codecs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// encodeAs adapts a family's concrete Encode method, failing cleanly
+// when handed an index of the wrong dynamic type (e.g. a manifest tag
+// edited to name the wrong family).
+func encodeAs[T core.Index](w *binio.Writer, idx core.Index, enc func(T, *binio.Writer) error) error {
+	t, ok := idx.(T)
+	if !ok {
+		return fmt.Errorf("registry: index %s has type %T, not the registered codec's", idx.Name(), idx)
+	}
+	return enc(t, w)
+}
+
+// decodeAs adapts a family's concrete Decode function, centralizing
+// the nil-on-error guard: returning a failed decode's concrete nil
+// pointer through the interface would read as non-nil to callers.
+func decodeAs[T core.Index](r *binio.Reader, dec func(*binio.Reader) (T, error)) (core.Index, error) {
+	idx, err := dec(r)
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+func init() {
+	RegisterCodec("RMI", Codec{
+		Encode: func(idx core.Index, w *binio.Writer) error {
+			return encodeAs(w, idx, func(t *rmi.Index, w *binio.Writer) error { return t.Encode(w) })
+		},
+		Decode: func(r *binio.Reader) (core.Index, error) { return decodeAs(r, rmi.Decode) },
+	})
+	RegisterCodec("PGM", Codec{
+		Encode: func(idx core.Index, w *binio.Writer) error {
+			return encodeAs(w, idx, func(t *pgm.Index, w *binio.Writer) error { return t.Encode(w) })
+		},
+		Decode: func(r *binio.Reader) (core.Index, error) { return decodeAs(r, pgm.Decode) },
+	})
+	RegisterCodec("RS", Codec{
+		Encode: func(idx core.Index, w *binio.Writer) error {
+			return encodeAs(w, idx, func(t *rs.Index, w *binio.Writer) error { return t.Encode(w) })
+		},
+		Decode: func(r *binio.Reader) (core.Index, error) { return decodeAs(r, rs.Decode) },
+	})
+	RegisterCodec("RBS", Codec{
+		Encode: func(idx core.Index, w *binio.Writer) error {
+			return encodeAs(w, idx, func(t *rbs.Index, w *binio.Writer) error { return t.Encode(w) })
+		},
+		Decode: func(r *binio.Reader) (core.Index, error) { return decodeAs(r, rbs.Decode) },
+	})
+	// BTree and IBTree share one implementation (and so one decoder,
+	// which restores the in-node search flavour from the encoded flag);
+	// both tags are registered so manifests stay self-describing.
+	btreeCodec := Codec{
+		Encode: func(idx core.Index, w *binio.Writer) error {
+			return encodeAs(w, idx, func(t *btree.Index, w *binio.Writer) error { return t.Encode(w) })
+		},
+		Decode: func(r *binio.Reader) (core.Index, error) { return decodeAs(r, btree.Decode) },
+	}
+	RegisterCodec("BTree", btreeCodec)
+	RegisterCodec("IBTree", btreeCodec)
+}

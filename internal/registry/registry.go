@@ -9,6 +9,7 @@ package registry
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 )
@@ -79,6 +80,42 @@ func Builder(family string, keys []core.Key) (NamedBuilder, bool) {
 	return sweep[len(sweep)/2], true
 }
 
+// ID returns the deterministic cross-process identifier of a family
+// configuration: "family" for an unlabelled configuration, otherwise
+// "family/label". Sweep labels are pure functions of the configuration
+// (never of pointers, timestamps, or iteration order), so the same
+// config produces the same ID in every process — which is what lets a
+// snapshot manifest name the exact catalog entry that built a shard.
+// Family names must not contain '/'; labels may.
+func ID(family, label string) string {
+	if label == "" {
+		return family
+	}
+	return family + "/" + label
+}
+
+// ParseID splits an ID back into family and label (label empty for
+// unlabelled IDs).
+func ParseID(id string) (family, label string) {
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		return id[:i], id[i+1:]
+	}
+	return id, ""
+}
+
+// SweepEntry looks up one catalog entry by its stable name: the entry
+// of family's sweep over keys whose label matches. ok is false when the
+// family is unknown or no entry of the sweep carries the label (e.g. a
+// learned family whose tuned ladder changed because the key set did).
+func SweepEntry(family, label string, keys []core.Key) (NamedBuilder, bool) {
+	for _, nb := range Sweep(family, keys) {
+		if nb.Label == label {
+			return nb, true
+		}
+	}
+	return NamedBuilder{}, false
+}
+
 // RebuildFunc produces the builder used when a serving shard is
 // compacted and its index rebuilt: prev is the builder that built the
 // shard's current index, keys the merged key set about to be indexed.
@@ -99,6 +136,14 @@ func RegisterRebuild(family string, fn RebuildFunc) {
 		panic(fmt.Sprintf("registry: duplicate rebuild hook for family %q", family))
 	}
 	rebuilds[family] = fn
+}
+
+// HasRebuild reports whether a family registered a compaction rebuild
+// hook (i.e. whether RebuildBuilder can return a builder other than
+// prev).
+func HasRebuild(family string) bool {
+	_, ok := rebuilds[family]
+	return ok
 }
 
 // RebuildBuilder returns the builder for re-indexing keys after a

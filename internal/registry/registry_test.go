@@ -138,3 +138,66 @@ func TestRegisterRebuildDuplicatePanics(t *testing.T) {
 	}()
 	RegisterRebuild("RMI", func(prev core.Builder, _ []core.Key) core.Builder { return prev })
 }
+
+func TestConfigIDs(t *testing.T) {
+	cases := []struct{ family, label, id string }{
+		{"PGM", "eps=64", "PGM/eps=64"},
+		{"BTree", "stride=8", "BTree/stride=8"},
+		{"RMI", "rmi[linear,cubic,B=512]", "RMI/rmi[linear,cubic,B=512]"},
+		{"ART", "", "ART"},
+		{"X", "a/b", "X/a/b"}, // labels may contain '/'
+	}
+	for _, c := range cases {
+		if got := ID(c.family, c.label); got != c.id {
+			t.Errorf("ID(%q,%q) = %q, want %q", c.family, c.label, got, c.id)
+		}
+		fam, label := ParseID(c.id)
+		if fam != c.family || label != c.label {
+			t.Errorf("ParseID(%q) = %q,%q, want %q,%q", c.id, fam, label, c.family, c.label)
+		}
+	}
+}
+
+// TestSweepEntryStableAcrossSweeps is the cross-process lookup
+// contract: every entry of a deterministic sweep must be findable by
+// its own label, and an unknown label or family must miss cleanly.
+func TestSweepEntryStableAcrossSweeps(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Amzn, 2000, 3)
+	for _, fam := range []string{"BTree", "IBTree", "RBS", "PGM", "RS", "FST"} {
+		for _, nb := range Sweep(fam, keys) {
+			got, ok := SweepEntry(fam, nb.Label, keys)
+			if !ok {
+				t.Fatalf("%s: entry %q not found by label", fam, nb.Label)
+			}
+			if got.Builder != nb.Builder {
+				t.Errorf("%s/%s: resolved different builder", fam, nb.Label)
+			}
+		}
+	}
+	if _, ok := SweepEntry("PGM", "eps=999999", keys); ok {
+		t.Error("unknown label resolved")
+	}
+	if _, ok := SweepEntry("NoSuchFamily", "", keys); ok {
+		t.Error("unknown family resolved")
+	}
+}
+
+// TestCodecCatalog verifies every family the persistence subsystem
+// promises (the ISSUE's minimum set) has a codec, and that codec
+// lookups miss cleanly for families without one.
+func TestCodecCatalog(t *testing.T) {
+	for _, fam := range []string{"RMI", "PGM", "RS", "RBS", "BTree", "IBTree"} {
+		if _, ok := CodecFor(fam); !ok {
+			t.Errorf("family %s has no codec", fam)
+		}
+	}
+	if _, ok := CodecFor("ART"); ok {
+		t.Error("ART unexpectedly has a codec")
+	}
+	fams := CodecFamilies()
+	for i := 1; i < len(fams); i++ {
+		if fams[i] <= fams[i-1] {
+			t.Errorf("CodecFamilies not sorted: %v", fams)
+		}
+	}
+}

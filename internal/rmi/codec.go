@@ -1,0 +1,127 @@
+package rmi
+
+// Binary codec for trained RMIs: Encode serializes the full model state
+// (architecture, stage-1 model, per-leaf models and verified error
+// margins) so Decode can reconstruct a ready index without re-running
+// the trainer or the tuner — the point of snapshot-based cold starts.
+// The wire layout is little-endian via binio; framing, versioning and
+// checksums are the caller's job (package persist).
+
+import (
+	"repro/internal/binio"
+)
+
+// wire sizes used for allocation guards: one model is a kind byte plus
+// six float64s; a leaf adds four int32s.
+const (
+	modelWireBytes = 1 + 6*8
+	leafWireBytes  = modelWireBytes + 4*4
+)
+
+func encodeModel(w *binio.Writer, m *model) {
+	w.U8(uint8(m.kind))
+	w.F64(m.keyOff)
+	w.F64(m.keyScale)
+	w.F64(m.c0)
+	w.F64(m.c1)
+	w.F64(m.c2)
+	w.F64(m.c3)
+}
+
+func decodeModel(r *binio.Reader) (model, error) {
+	var m model
+	k := r.U8()
+	if k > uint8(ModelRadix) {
+		return m, binio.Corruptf("rmi: unknown model kind %d", k)
+	}
+	m.kind = ModelKind(k)
+	m.keyOff = r.FiniteF64()
+	m.keyScale = r.FiniteF64()
+	m.c0 = r.FiniteF64()
+	m.c1 = r.FiniteF64()
+	m.c2 = r.FiniteF64()
+	m.c3 = r.FiniteF64()
+	return m, r.Err()
+}
+
+// Encode writes the trained index to w. The output is exactly what
+// Decode consumes; it carries no framing or checksum of its own.
+func (idx *Index) Encode(w *binio.Writer) error {
+	w.U8(uint8(idx.cfg.Stage1))
+	w.U8(uint8(idx.cfg.Stage2))
+	w.U64(uint64(idx.n))
+	encodeModel(w, &idx.stage1)
+	w.U32(uint32(len(idx.leaves)))
+	for i := range idx.leaves {
+		lf := &idx.leaves[i]
+		encodeModel(w, &lf.m)
+		w.U32(uint32(lf.errLo))
+		w.U32(uint32(lf.errHi))
+		w.U32(uint32(lf.loPos))
+		w.U32(uint32(lf.hiPos))
+	}
+	return w.Err()
+}
+
+// Decode reconstructs a trained index from r without retraining. Every
+// structural invariant the lookup path relies on is re-validated, so a
+// corrupted input yields an error, never a panic or an oversized
+// allocation.
+func Decode(r *binio.Reader) (*Index, error) {
+	var cfg Config
+	cfg.Stage1 = ModelKind(r.U8())
+	cfg.Stage2 = ModelKind(r.U8())
+	n := r.U64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if cfg.Stage1 > ModelRadix || cfg.Stage2 > ModelRadix {
+		return nil, binio.Corruptf("rmi: unknown stage model kind")
+	}
+	const maxN = 1 << 48 // far beyond any in-memory array
+	if n == 0 || n > maxN {
+		return nil, binio.Corruptf("rmi: implausible key count %d", n)
+	}
+	stage1, err := decodeModel(r)
+	if err != nil {
+		return nil, err
+	}
+	branch := r.Count(leafWireBytes)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if branch < 1 {
+		return nil, binio.Corruptf("rmi: zero leaves")
+	}
+	cfg.Branch = branch
+	idx := &Index{cfg: cfg, n: int(n), stage1: stage1}
+	idx.leaves = make([]leaf, branch)
+	for i := range idx.leaves {
+		lf := &idx.leaves[i]
+		lf.m, err = decodeModel(r)
+		if err != nil {
+			return nil, err
+		}
+		lf.errLo = int32(r.U32())
+		lf.errHi = int32(r.U32())
+		lf.loPos = int32(r.U32())
+		lf.hiPos = int32(r.U32())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for i := range idx.leaves {
+		lf := &idx.leaves[i]
+		// Margins must be non-negative and positions inside the data
+		// array: clampPredict returns a value in [loPos, hiPos] and
+		// BoundAround only clamps the final bound, so wild positions
+		// would survive into bounds wider than the array.
+		if lf.errLo < 0 || lf.errHi < 0 {
+			return nil, binio.Corruptf("rmi: negative error margin in leaf %d", i)
+		}
+		if lf.loPos < 0 || int(lf.hiPos) >= int(n) || lf.loPos > lf.hiPos {
+			return nil, binio.Corruptf("rmi: leaf %d position range [%d,%d] outside data [0,%d)", i, lf.loPos, lf.hiPos, n)
+		}
+	}
+	return idx, nil
+}

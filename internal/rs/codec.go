@@ -1,0 +1,99 @@
+package rs
+
+// Binary codec for built RadixSpline indexes: spline points, radix
+// table and verified margins are serialized so Decode reconstructs a
+// ready index without re-fitting the spline. Little-endian via binio;
+// framing and checksums live in package persist.
+
+import (
+	"repro/internal/binio"
+)
+
+const pointWireBytes = 8 + 4
+
+// Encode writes the built index to w.
+func (idx *Index) Encode(w *binio.Writer) error {
+	w.U32(uint32(idx.cfg.SplineErr))
+	w.U32(uint32(idx.cfg.RadixBits))
+	w.U64(uint64(idx.n))
+	w.U64(idx.minKey)
+	w.U32(uint32(idx.shift))
+	w.U32(uint32(idx.errLo))
+	w.U32(uint32(idx.errHi))
+	w.U32(uint32(len(idx.points)))
+	for _, p := range idx.points {
+		w.U64(p.Key)
+		w.U32(uint32(p.Pos))
+	}
+	w.U32(uint32(len(idx.radix)))
+	for _, v := range idx.radix {
+		w.U32(uint32(v))
+	}
+	return w.Err()
+}
+
+// Decode reconstructs a built index from r. The radix table's entries
+// are offsets into the point array and are fully re-validated (bounds
+// and monotonicity) — segmentFor indexes points through them, so a
+// corrupt table would otherwise turn into an out-of-range access.
+func Decode(r *binio.Reader) (*Index, error) {
+	var cfg Config
+	cfg.SplineErr = int(r.U32())
+	cfg.RadixBits = int(r.U32())
+	n := r.U64()
+	minKey := r.U64()
+	shift := r.U32()
+	errLo := int(r.U32())
+	errHi := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	const maxN = 1 << 48
+	if n == 0 || n > maxN {
+		return nil, binio.Corruptf("rs: implausible key count %d", n)
+	}
+	if cfg.RadixBits < 1 || cfg.RadixBits > 28 || cfg.SplineErr < 1 {
+		return nil, binio.Corruptf("rs: config eps=%d r=%d out of range", cfg.SplineErr, cfg.RadixBits)
+	}
+	if shift > 63 {
+		return nil, binio.Corruptf("rs: shift %d", shift)
+	}
+	if errLo < 0 || errHi < 0 {
+		return nil, binio.Corruptf("rs: negative margins")
+	}
+	nPoints := r.Count(pointWireBytes)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nPoints < 1 {
+		return nil, binio.Corruptf("rs: no spline points")
+	}
+	idx := &Index{cfg: cfg, n: int(n), minKey: minKey, shift: uint(shift), errLo: errLo, errHi: errHi}
+	idx.points = make([]Point, nPoints)
+	for i := range idx.points {
+		idx.points[i].Key = r.U64()
+		idx.points[i].Pos = int32(r.U32())
+	}
+	nRadix := r.Count(4)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nRadix != 1<<cfg.RadixBits+1 {
+		return nil, binio.Corruptf("rs: radix table has %d entries, want %d", nRadix, 1<<cfg.RadixBits+1)
+	}
+	idx.radix = make([]int32, nRadix)
+	for i := range idx.radix {
+		idx.radix[i] = int32(r.U32())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	prev := int32(0)
+	for i, v := range idx.radix {
+		if v < prev || int(v) > nPoints {
+			return nil, binio.Corruptf("rs: radix entry %d = %d invalid (prev %d, points %d)", i, v, prev, nPoints)
+		}
+		prev = v
+	}
+	return idx, nil
+}

@@ -1,0 +1,546 @@
+package serve
+
+// Snapshot/Open: the durability face of the Store, composed from the
+// artifacts of internal/persist. A snapshot directory holds, per
+// shard, a block-aligned table file, an encoded index (when the
+// shard's family has a codec), and a write-ahead log seeded with the
+// shard's pending delta; the manifest names them all and its rename is
+// the commit point. Shard files are written under generation-suffixed
+// names and the manifest commits a complete generation at once, so a
+// crash at any instant leaves either the full old file set or the full
+// new one — never a mixed pair.
+//
+// A store opened from a snapshot is "attached": every Put/Delete
+// appends to its shard's WAL before becoming visible, and every
+// compaction or Replace commits the new base and truncates the WAL to
+// the writes still pending — the commit (manifest rename) happens
+// under the shard's write lock, so no write can slip between the WAL
+// seed it captures and the moment it takes effect. At any instant,
+// replaying a shard's committed WAL over its committed base reproduces
+// the shard's live state. See DESIGN.md "Persistence".
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/search"
+	"repro/internal/table"
+)
+
+func tabFileName(i int, gen uint64) string { return fmt.Sprintf("shard-%04d-g%06d.tab", i, gen) }
+func idxFileName(i int, gen uint64) string { return fmt.Sprintf("shard-%04d-g%06d.idx", i, gen) }
+func walFileName(i int, gen uint64) string { return fmt.Sprintf("shard-%04d-g%06d.wal", i, gen) }
+
+// notePersistErr records the store's first background persistence
+// failure (WAL append, compaction commit); PersistErr surfaces it.
+func (st *Store) notePersistErr(err error) {
+	st.persistErrMu.Lock()
+	if st.persistErr == nil {
+		st.persistErr = err
+	}
+	st.persistErrMu.Unlock()
+}
+
+// PersistErr reports the first persistence failure the store has
+// swallowed on a background path (WAL appends, compaction commits).
+// A non-nil result means the in-memory state is fine but durability
+// is degraded: the next Snapshot to a healthy location should be
+// treated as urgent.
+func (st *Store) PersistErr() error {
+	st.persistErrMu.Lock()
+	defer st.persistErrMu.Unlock()
+	return st.persistErr
+}
+
+// Dir reports the attached snapshot directory ("" for a volatile
+// store built with New).
+func (st *Store) Dir() string { return st.dir }
+
+// SyncWAL fsyncs every attached write-ahead log: an explicit storage
+// barrier for stores running without SyncWrites. Safe alongside
+// concurrent writes and compactions.
+func (st *Store) SyncWAL() error {
+	if st.wals == nil {
+		return nil // volatile store: nothing to sync
+	}
+	for i := range st.writeMu {
+		st.writeMu[i].Lock()
+		w := st.wals[i]
+		var err error
+		if w != nil {
+			err = w.Sync()
+		}
+		st.writeMu[i].Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pendingOps flattens a shard state's pending writes (frozen delta
+// under active, newest wins) into WAL seed records.
+func pendingOps(s *shardState) []persist.Op {
+	d := s.del
+	if s.frozen != nil {
+		d = s.frozen.overlay(s.del)
+	}
+	if d.len() == 0 {
+		return nil
+	}
+	ops := make([]persist.Op, d.len())
+	for i := range ops {
+		ops[i] = persist.Op{Key: d.keys[i], Val: d.vals[i], Tomb: d.tombs[i]}
+	}
+	return ops
+}
+
+// deltaFromOps replays WAL records into a delta: last write per key
+// wins, entries sorted. Linear in the op count (not the quadratic
+// one-at-a-time copy-on-write path used for live writes).
+func deltaFromOps(ops []persist.Op) *delta {
+	if len(ops) == 0 {
+		return emptyDelta
+	}
+	last := make(map[core.Key]persist.Op, len(ops))
+	for _, op := range ops {
+		last[op.Key] = op
+	}
+	keys := make([]core.Key, 0, len(last))
+	for k := range last {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	d := &delta{
+		keys:  keys,
+		vals:  make([]uint64, len(keys)),
+		tombs: make([]bool, len(keys)),
+	}
+	for i, k := range keys {
+		d.vals[i] = last[k].Val
+		d.tombs[i] = last[k].Tomb
+	}
+	return d
+}
+
+// writeShardBase writes shard i's immutable base (table file, and the
+// encoded index when the family has a codec) into dir at generation
+// gen, returning the file names ("" index = rebuild-at-load marker).
+func (st *Store) writeShardBase(dir string, i int, gen uint64, tab *table.Table) (tabName, idxName string, err error) {
+	tabName = tabFileName(i, gen)
+	if err := persist.WriteTable(filepath.Join(dir, tabName), tab.Keys(), tab.Payloads()); err != nil {
+		return "", "", err
+	}
+	if tab.Len() > 0 {
+		if _, ok := registry.CodecFor(tab.Index().Name()); ok {
+			idxName = idxFileName(i, gen)
+			if err := persist.WriteIndex(filepath.Join(dir, idxName), tab.Index()); err != nil {
+				return "", "", err
+			}
+		}
+	}
+	return tabName, idxName, nil
+}
+
+// cleanStaleShardFiles removes generation files the committed manifest
+// no longer references. Best-effort: leftovers waste space, never
+// correctness.
+func cleanStaleShardFiles(dir string, m *persist.Manifest) {
+	keep := map[string]bool{}
+	for _, s := range m.Shards {
+		keep[s.Table], keep[s.Index], keep[s.WAL] = true, true, true
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
+		return
+	}
+	for _, path := range matches {
+		if !keep[filepath.Base(path)] {
+			os.Remove(path)
+		}
+	}
+}
+
+// Snapshot atomically persists the store's full state into dir: every
+// shard's base table, its index (encoded without its training data
+// when the family has a codec), and a WAL seeded with the shard's
+// pending writes, committed by the manifest rename. It runs alongside
+// concurrent reads and writes — each shard is captured at one
+// consistent (base, pending) point — and leaves the store serving
+// throughout. Snapshotting an attached store to its own directory
+// commits shard by shard and swaps the live WALs, truncating each to
+// the pending writes just captured.
+func (st *Store) Snapshot(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return err
+	}
+	if st.dir != "" && abs == st.dir {
+		st.persistMu.Lock()
+		defer st.persistMu.Unlock()
+		for i := range st.shards {
+			if err := st.persistShardLocked(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Export to a foreign directory: capture each shard from one
+	// atomic state load (tab, active, frozen are individually
+	// immutable, so no locks or retries are needed), then commit a
+	// complete generation with a single manifest rename. Exports
+	// serialize only against each other (exportMu), never against the
+	// attached directory's compaction commits — a long backup must not
+	// stall the compactor behind persistMu.
+	st.exportMu.Lock()
+	defer st.exportMu.Unlock()
+	gen := uint64(1)
+	if old, err := persist.ReadManifest(filepath.Join(abs, persist.ManifestName)); err == nil {
+		gen = old.Gen + 1
+	}
+	m := &persist.Manifest{
+		Family: st.cfg.Family,
+		Gen:    gen,
+		Shards: make([]persist.ShardMeta, len(st.shards)),
+	}
+	for i := range st.shards {
+		st.writeMu[i].Lock()
+		s := st.shards[i].Load()
+		tag := st.builderIDs[i] // read with its state under the lock
+		st.writeMu[i].Unlock()
+		tabName, idxName, err := st.writeShardBase(abs, i, gen, s.tab)
+		if err != nil {
+			return err
+		}
+		walName := walFileName(i, gen)
+		w, err := persist.CreateWAL(filepath.Join(abs, walName), pendingOps(s))
+		if err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		m.Shards[i] = persist.ShardMeta{
+			Sep: st.seps[i], Codec: tag,
+			Table: tabName, Index: idxName, WAL: walName,
+		}
+	}
+	if err := persist.WriteManifest(filepath.Join(abs, persist.ManifestName), m); err != nil {
+		return err
+	}
+	cleanStaleShardFiles(abs, m)
+	return nil
+}
+
+// persistShard commits shard i's current state to the attached
+// directory at a fresh generation: new table + index files, a WAL
+// seeded with the still-pending writes, and the manifest naming them.
+// It is the incremental, single-shard form of Snapshot, run after
+// every compaction and Replace on an attached store.
+func (st *Store) persistShard(i int) error {
+	st.persistMu.Lock()
+	defer st.persistMu.Unlock()
+	return st.persistShardLocked(i)
+}
+
+// persistShardLocked (persistMu held) does the work. The heavy base
+// write happens off the shard's write lock against the immutable
+// table (retrying if a compaction republishes it mid-write); the WAL
+// seed and the manifest rename happen under the lock, so the commit
+// point and the captured pending set agree exactly — this is what
+// keeps the replay invariant through compaction truncations and
+// through Replace's wholesale discard of pending writes. Writers to
+// this one shard stall for the WAL+manifest commit (~one fsync);
+// readers and other shards are unaffected.
+func (st *Store) persistShardLocked(i int) error {
+	dir := st.dir
+	gen := st.gen + 1
+	for {
+		s := st.shards[i].Load()
+		var tabName, idxName string
+		if st.lastPersisted[i] == s.tab {
+			// Base unchanged since its last commit: reuse the committed
+			// files and make this a WAL+manifest-only commit (~one
+			// fsync) — the common shape of a periodic checkpoint.
+			tabName, idxName = st.meta[i].Table, st.meta[i].Index
+		} else {
+			var err error
+			tabName, idxName, err = st.writeShardBase(dir, i, gen, s.tab)
+			if err != nil {
+				return err
+			}
+		}
+
+		st.writeMu[i].Lock()
+		s2 := st.shards[i].Load()
+		if s2.tab != s.tab {
+			st.writeMu[i].Unlock()
+			continue // base republished mid-write; redo (same gen, files overwritten)
+		}
+		walName := walFileName(i, gen)
+		w, err := persist.CreateWAL(filepath.Join(dir, walName), pendingOps(s2))
+		if err != nil {
+			st.writeMu[i].Unlock()
+			return err
+		}
+		shards := append([]persist.ShardMeta(nil), st.meta...)
+		shards[i] = persist.ShardMeta{
+			Sep: st.seps[i], Codec: st.builderIDs[i],
+			Table: tabName, Index: idxName, WAL: walName,
+		}
+		m := &persist.Manifest{Family: st.cfg.Family, Gen: gen, Shards: shards}
+		if err := persist.WriteManifest(filepath.Join(dir, persist.ManifestName), m); err != nil {
+			w.Close()
+			st.writeMu[i].Unlock()
+			return err
+		}
+		// Committed: swap the live WAL, retire the old generation.
+		if old := st.wals[i]; old != nil {
+			old.Close()
+		}
+		st.wals[i] = w
+		st.writeMu[i].Unlock()
+		st.meta = shards
+		st.gen = gen
+		st.lastPersisted[i] = s.tab
+		cleanStaleShardFiles(dir, m)
+		return nil
+	}
+}
+
+// wrapBuilderFor adapts a Config.BuilderFor callback to the internal
+// (builder, codec tag, error) shape shared by New and Open. Custom
+// builders have no catalog label; the family name alone is still a
+// usable codec tag.
+func wrapBuilderFor(custom func(shard int, keys []core.Key) (core.Builder, error)) func(int, []core.Key) (core.Builder, string, error) {
+	return func(shard int, keys []core.Key) (core.Builder, string, error) {
+		b, err := custom(shard, keys)
+		if err != nil {
+			return nil, "", err
+		}
+		return b, registry.ID(b.Name(), ""), nil
+	}
+}
+
+// Open loads a store from a snapshot directory: each shard's table is
+// read through io.ReaderAt into its final arrays, its index decoded
+// from trained parameters (no retraining; families without a codec are
+// rebuilt from the loaded keys), and its WAL replayed into the pending
+// delta — so the store serves exactly the state current when the
+// snapshot (plus any logged writes) was taken. The returned store is
+// attached: subsequent writes append to the WALs and compactions
+// advance the on-disk state. cfg supplies the runtime knobs (Search,
+// Workers, CompactThreshold, SyncWrites, BuilderFor); the shard
+// structure, family and index configuration come from the manifest.
+func Open(dir string, cfg Config) (*Store, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	m, err := persist.ReadManifest(filepath.Join(abs, persist.ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("serve: open %s: %w", dir, err)
+	}
+	if cfg.Search == nil {
+		cfg.Search = search.BinarySearch
+	}
+	cfg.Family = m.Family
+	nShards := len(m.Shards)
+	if cfg.Workers <= 0 {
+		cfg.Workers = nShards
+		if ncpu := runtime.NumCPU(); cfg.Workers > ncpu {
+			cfg.Workers = ncpu
+		}
+	}
+	if cfg.CompactThreshold == 0 {
+		cfg.CompactThreshold = DefaultCompactThreshold
+	}
+
+	st := &Store{cfg: cfg, dir: abs, gen: m.Gen}
+	st.meta = append([]persist.ShardMeta(nil), m.Shards...)
+	st.seps = make([]core.Key, nShards)
+	st.shards = make([]atomic.Pointer[shardState], nShards)
+	st.writeMu = make([]sync.Mutex, nShards)
+	st.builders = make([]core.Builder, nShards) // resolved lazily at first compaction
+	st.builderIDs = make([]string, nShards)
+	st.wals = make([]*persist.WAL, nShards)
+	switch {
+	case cfg.BuilderFor != nil:
+		st.builderFor = wrapBuilderFor(cfg.BuilderFor)
+	case m.Family != "" && registry.Has(m.Family):
+		st.builderFor = familyBuilderFor(m.Family)
+	default:
+		st.builderFor = func(int, []core.Key) (core.Builder, string, error) {
+			return nil, "", fmt.Errorf("serve: store family %q not in registry; Replace unavailable", m.Family)
+		}
+	}
+
+	// Populate the boundary metadata first: the shard loaders below
+	// read neighbouring separators for their routing checks.
+	for i := range m.Shards {
+		st.seps[i] = m.Shards[i].Sep
+		st.builderIDs[i] = m.Shards[i].Codec
+	}
+	// Load shards concurrently: table reads are I/O-bound, decodes
+	// cheap, and the occasional no-codec rebuild CPU-bound.
+	var wg sync.WaitGroup
+	errs := make([]error, nShards)
+	for i := range m.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = st.openShard(abs, i, &m.Shards[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, w := range st.wals {
+				if w != nil {
+					w.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	// The just-loaded bases are exactly what the manifest committed, so
+	// the first checkpoint of an unchanged shard can skip rewriting them.
+	st.lastPersisted = make([]*table.Table, nShards)
+	for i := range st.shards {
+		st.lastPersisted[i] = st.shards[i].Load().tab
+	}
+	st.start()
+	// Replayed deltas past the threshold compact in the background
+	// right away instead of waiting for the next write.
+	if cfg.CompactThreshold > 0 {
+		for i := range st.shards {
+			if st.shards[i].Load().del.len() >= cfg.CompactThreshold {
+				st.requestCompact(i)
+			}
+		}
+	}
+	return st, nil
+}
+
+// openShard loads one shard: table, index, WAL.
+func (st *Store) openShard(dir string, i int, meta *persist.ShardMeta) error {
+	keys, payloads, err := persist.ReadTable(filepath.Join(dir, meta.Table))
+	if err != nil {
+		return fmt.Errorf("serve: shard %d table: %w", i, err)
+	}
+	// Boundary check: a table file swapped between shards would pass
+	// its own checksums but violate the routing invariant. Shard 0 has
+	// no lower fence — keys below every separator route to it (see
+	// shardOf), so its compacted base may legitimately start below
+	// seps[0].
+	if len(keys) > 0 {
+		if i > 0 && keys[0] < st.seps[i] {
+			return fmt.Errorf("serve: shard %d table starts at %d, before separator %d", i, keys[0], st.seps[i])
+		}
+		if i+1 < len(st.seps) && keys[len(keys)-1] >= st.seps[i+1] {
+			return fmt.Errorf("serve: shard %d table crosses into shard %d", i, i+1)
+		}
+	}
+
+	var tab *table.Table
+	switch {
+	case len(keys) == 0:
+		tab = table.Empty(st.cfg.Search)
+	case meta.Index != "":
+		idx, err := persist.ReadIndex(filepath.Join(dir, meta.Index))
+		if err != nil {
+			return fmt.Errorf("serve: shard %d index: %w", i, err)
+		}
+		if fam, _ := registry.ParseID(meta.Codec); fam != idx.Name() {
+			// A mismatch between the manifest tag and the frame's own
+			// family is tampering — except when the tag names a custom
+			// builder (no codec of its own) that produced an index of a
+			// codec family; there the frame's self-description wins.
+			if _, tagHasCodec := registry.CodecFor(fam); tagHasCodec {
+				return fmt.Errorf("serve: shard %d index family %q does not match codec tag %q", i, idx.Name(), meta.Codec)
+			}
+		}
+		if err := sampleValidate(keys, idx); err != nil {
+			return fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		tab, err = table.New(keys, payloads, idx, st.cfg.Search)
+		if err != nil {
+			return fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+	default:
+		// No encoded index (family without a codec): rebuild from the
+		// loaded keys — the documented retraining fallback. A caller-
+		// supplied BuilderFor wins over the catalog: it may be the only
+		// way to build a family the registry does not know.
+		var b core.Builder
+		var id string
+		var err error
+		if st.cfg.BuilderFor != nil {
+			b, id, err = st.builderFor(i, keys)
+		} else {
+			b, id, err = resolveRebuild(nil, meta.Codec, keys)
+		}
+		if err != nil {
+			return fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		tab, err = table.Build(b, keys, payloads, st.cfg.Search)
+		if err != nil {
+			return fmt.Errorf("serve: shard %d rebuild: %w", i, err)
+		}
+		st.builders[i] = b
+		st.builderIDs[i] = id
+	}
+
+	wal, ops, err := persist.OpenWAL(filepath.Join(dir, meta.WAL))
+	if err != nil {
+		return fmt.Errorf("serve: shard %d wal: %w", i, err)
+	}
+	for _, op := range ops {
+		if st.shardOf(op.Key) != i {
+			wal.Close()
+			return fmt.Errorf("serve: shard %d wal holds key %d owned by shard %d", i, op.Key, st.shardOf(op.Key))
+		}
+	}
+	st.wals[i] = wal
+	st.shards[i].Store(&shardState{tab: tab, del: deltaFromOps(ops)})
+	return nil
+}
+
+// sampleValidate spot-checks a decoded index against the shard's keys:
+// a sample of present keys (plus both extremes) must produce valid
+// lower-bound search bounds. Checksums catch bit rot; this catches a
+// structurally-valid index paired with the wrong table (sizes or key
+// ranges that drifted apart), at a cost independent of table size.
+func sampleValidate(keys []core.Key, idx core.Index) error {
+	n := len(keys)
+	const samples = 64
+	step := n / samples
+	if step < 1 {
+		step = 1
+	}
+	check := func(pos int) error {
+		x := keys[pos]
+		if b := idx.Lookup(x); !core.ValidBound(keys, x, b) {
+			return fmt.Errorf("decoded index returns invalid bound %v for key %d", idx.Lookup(x), x)
+		}
+		return nil
+	}
+	for pos := 0; pos < n; pos += step {
+		if err := check(pos); err != nil {
+			return err
+		}
+	}
+	return check(n - 1)
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/search"
 	"repro/internal/table"
@@ -68,6 +69,12 @@ type Config struct {
 	// DefaultCompactThreshold; negative disables background compaction
 	// entirely (writes still land, Compact merges on demand).
 	CompactThreshold int
+
+	// SyncWrites, for a store attached to a snapshot directory (Open),
+	// fsyncs the shard's write-ahead log on every Put/Delete. Off by
+	// default: appends still reach the OS immediately (surviving a
+	// process crash), and SyncWAL provides an explicit storage barrier.
+	SyncWrites bool
 }
 
 // Store is a sharded, mutable key→payload store. See the package
@@ -77,8 +84,25 @@ type Store struct {
 	seps       []core.Key // seps[i] = first key owned by shard i
 	shards     []atomic.Pointer[shardState]
 	writeMu    []sync.Mutex   // per-shard single-writer locks
-	builders   []core.Builder // last builder used per shard; guarded by writeMu
-	builderFor func(shard int, keys []core.Key) (core.Builder, error)
+	builders   []core.Builder // last builder used per shard; guarded by writeMu; nil until resolved on warm-opened shards
+	builderIDs []string       // registry config ID per shard (manifest codec tag); guarded by writeMu
+	builderFor func(shard int, keys []core.Key) (core.Builder, string, error)
+
+	// Persistence state (zero unless the store was opened from a
+	// snapshot directory): the attached directory (absolute), one live
+	// WAL per shard (slots guarded by writeMu), a mutex serializing
+	// snapshot/manifest commits, the last committed generation and
+	// manifest entries (guarded by persistMu), and the first background
+	// persistence failure.
+	dir           string
+	wals          []*persist.WAL
+	persistMu     sync.Mutex
+	exportMu      sync.Mutex // serializes foreign-directory Snapshots only
+	gen           uint64
+	meta          []persist.ShardMeta
+	lastPersisted []*table.Table // base committed at meta[i]; guarded by persistMu
+	persistErrMu  sync.Mutex
+	persistErr    error
 
 	jobs      chan job
 	workersWG sync.WaitGroup
@@ -145,19 +169,15 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 		cfg.CompactThreshold = DefaultCompactThreshold
 	}
 
-	st := &Store{cfg: cfg, builderFor: cfg.BuilderFor}
-	if st.builderFor == nil {
+	st := &Store{cfg: cfg}
+	if cfg.BuilderFor != nil {
+		st.builderFor = wrapBuilderFor(cfg.BuilderFor)
+	} else {
 		family := cfg.Family
 		if !registry.Has(family) {
 			return nil, fmt.Errorf("serve: unknown index family %q", family)
 		}
-		st.builderFor = func(_ int, keys []core.Key) (core.Builder, error) {
-			nb, ok := registry.Builder(family, keys)
-			if !ok {
-				return nil, fmt.Errorf("serve: empty sweep for family %q", family)
-			}
-			return nb.Builder, nil
-		}
+		st.builderFor = familyBuilderFor(family)
 	}
 
 	// Partition: shard i starts at the i-th near-equal cut, advanced
@@ -181,6 +201,7 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 	st.shards = make([]atomic.Pointer[shardState], nShards)
 	st.writeMu = make([]sync.Mutex, nShards)
 	st.builders = make([]core.Builder, nShards)
+	st.builderIDs = make([]string, nShards)
 
 	// Build shard tables concurrently: builds are independent and the
 	// learned families are CPU-bound.
@@ -210,10 +231,30 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 			return nil, err
 		}
 	}
+	st.start()
+	return st, nil
+}
 
+// familyBuilderFor is the registry-backed shard builder used when no
+// custom BuilderFor is configured: the family's mid-sweep entry, with
+// its catalog label recorded as the shard's codec tag.
+func familyBuilderFor(family string) func(int, []core.Key) (core.Builder, string, error) {
+	return func(_ int, keys []core.Key) (core.Builder, string, error) {
+		nb, ok := registry.Builder(family, keys)
+		if !ok {
+			return nil, "", fmt.Errorf("serve: empty sweep for family %q", family)
+		}
+		return nb.Builder, registry.ID(family, nb.Label), nil
+	}
+}
+
+// start launches the worker pool and the background compactor over the
+// already-populated shard array (shared by New and Open).
+func (st *Store) start() {
+	nShards := len(st.shards)
 	st.scratch.New = func() any { return &batchScratch{} }
 	st.jobs = make(chan job)
-	for w := 0; w < cfg.Workers; w++ {
+	for w := 0; w < st.cfg.Workers; w++ {
 		st.workersWG.Add(1)
 		go st.worker()
 	}
@@ -223,18 +264,18 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 	st.compactQueued = make([]atomic.Bool, nShards)
 	st.compactWG.Add(1)
 	go st.compactor()
-	return st, nil
 }
 
 // buildShard picks (and records) the shard's builder and constructs its
 // table. Callers that can race hold writeMu[i]; during New each shard
 // is touched by exactly one goroutine.
 func (st *Store) buildShard(i int, keys []core.Key, payloads []uint64) (*table.Table, error) {
-	b, err := st.builderFor(i, keys)
+	b, id, err := st.builderFor(i, keys)
 	if err != nil {
 		return nil, err
 	}
 	st.builders[i] = b
+	st.builderIDs[i] = id
 	t, err := table.Build(b, keys, payloads, st.cfg.Search)
 	if err != nil {
 		return nil, fmt.Errorf("serve: shard %d: %w", i, err)
@@ -250,9 +291,10 @@ func (st *Store) worker() {
 	}
 }
 
-// Close stops the worker pool and the background compactor. No reads
-// or writes may be in flight or issued after Close; shard states
-// remain readable through Get.
+// Close stops the worker pool and the background compactor, then syncs
+// and closes any attached write-ahead logs. No reads or writes may be
+// in flight or issued after Close; shard states remain readable
+// through Get.
 func (st *Store) Close() {
 	if st.closed.Swap(true) {
 		return
@@ -261,6 +303,17 @@ func (st *Store) Close() {
 	st.workersWG.Wait()
 	close(st.compactC)
 	st.compactWG.Wait()
+	for i := range st.wals {
+		st.writeMu[i].Lock()
+		w := st.wals[i]
+		st.wals[i] = nil
+		st.writeMu[i].Unlock()
+		if w != nil {
+			if err := w.Close(); err != nil {
+				st.notePersistErr(err)
+			}
+		}
+	}
 }
 
 // shardOf routes a key to the shard owning its range: the rightmost
@@ -349,6 +402,20 @@ func (st *Store) Delete(key core.Key) {
 func (st *Store) write(key core.Key, payload uint64, tomb bool) {
 	i := st.shardOf(key)
 	st.writeMu[i].Lock()
+	// WAL-before-state: the record must be on its way to disk before
+	// any reader can observe the write, or a crash could lose an
+	// acknowledged update. WAL failures (disk full, dead device) are
+	// stashed rather than dropped: the write stays visible in memory
+	// and PersistErr reports the store's durability is degraded.
+	if st.wals != nil && st.wals[i] != nil {
+		if err := st.wals[i].Append(persist.Op{Key: key, Val: payload, Tomb: tomb}); err != nil {
+			st.notePersistErr(err)
+		} else if st.cfg.SyncWrites {
+			if err := st.wals[i].Sync(); err != nil {
+				st.notePersistErr(err)
+			}
+		}
+	}
 	s := st.shards[i].Load()
 	ns := &shardState{tab: s.tab, del: s.del.with(key, payload, tomb), frozen: s.frozen}
 	st.shards[i].Store(ns)
@@ -434,6 +501,7 @@ func (st *Store) compactShard(i int) error {
 	st.shards[i].Store(&shardState{tab: s.tab, del: emptyDelta, frozen: frozen})
 	base := s.tab
 	builder := st.builders[i]
+	builderID := st.builderIDs[i]
 	st.writeMu[i].Unlock()
 
 	start := time.Now()
@@ -444,11 +512,19 @@ func (st *Store) compactShard(i int) error {
 		nt = table.Empty(st.cfg.Search)
 	} else {
 		// Learned families re-tune for the merged key set via their
-		// registry rebuild hook; everyone else reuses the shard's builder.
-		b := registry.RebuildBuilder(builder.Name(), builder, keys)
-		nt, err = table.Build(b, keys, vals, st.cfg.Search)
+		// registry rebuild hook; everyone else reuses the shard's
+		// builder. A warm-opened shard has no builder value yet — its
+		// codec tag names the catalog entry to resolve lazily, here at
+		// first compaction rather than at Open, so warm loads never
+		// pay a training cost up front.
+		var b core.Builder
+		var id string
+		b, id, err = resolveRebuild(builder, builderID, keys)
 		if err == nil {
-			builder = b
+			nt, err = table.Build(b, keys, vals, st.cfg.Search)
+			if err == nil {
+				builder, builderID = b, id
+			}
 		}
 	}
 
@@ -467,11 +543,48 @@ func (st *Store) compactShard(i int) error {
 		return fmt.Errorf("serve: compact shard %d: %w", i, err)
 	}
 	st.builders[i] = builder
+	st.builderIDs[i] = builderID // keeps the manifest codec tag tracking re-tunes
 	st.shards[i].Store(&shardState{tab: nt, del: s2.del})
 	st.writeMu[i].Unlock()
 	st.compactions.Add(1)
 	st.compactNs.Add(time.Since(start).Nanoseconds())
+	// For an attached store the merge is made durable now: the new
+	// base and index are committed to the snapshot directory, then the
+	// shard's WAL is truncated to the still-pending writes. On failure
+	// the old on-disk pair stays authoritative — replaying the full
+	// old WAL over the old base reproduces exactly the state just
+	// published, so nothing is lost, and PersistErr reports it.
+	if st.dir != "" {
+		if perr := st.persistShard(i); perr != nil {
+			st.notePersistErr(perr)
+		}
+	}
 	return nil
+}
+
+// resolveRebuild picks the builder (and its codec tag) for re-indexing
+// a compacted shard. prev non-nil follows the standard rebuild-hook
+// path — when the hook re-tunes, the old label no longer describes the
+// builder, so the tag degrades to the bare family. prev nil (a
+// warm-opened shard) resolves the codec tag against the catalog —
+// exact label first, mid-sweep fallback when the tuned ladder no
+// longer contains it.
+func resolveRebuild(prev core.Builder, id string, keys []core.Key) (core.Builder, string, error) {
+	if prev != nil {
+		if !registry.HasRebuild(prev.Name()) {
+			return prev, id, nil // hookless family: builder and tag unchanged
+		}
+		b := registry.RebuildBuilder(prev.Name(), prev, keys)
+		return b, registry.ID(b.Name(), ""), nil
+	}
+	family, label := registry.ParseID(id)
+	if nb, ok := registry.SweepEntry(family, label, keys); ok {
+		return nb.Builder, id, nil
+	}
+	if nb, ok := registry.Builder(family, keys); ok {
+		return nb.Builder, registry.ID(family, nb.Label), nil
+	}
+	return nil, "", fmt.Errorf("serve: cannot resolve builder for codec tag %q", id)
 }
 
 // Compact synchronously merges every shard's pending writes into its
@@ -647,11 +760,24 @@ func (st *Store) Replace(i int, keys []core.Key, payloads []uint64) error {
 		return fmt.Errorf("serve: replacement key %d crosses into shard %d", keys[len(keys)-1], i+1)
 	}
 	st.writeMu[i].Lock()
-	defer st.writeMu[i].Unlock()
 	t, err := st.buildShard(i, keys, payloads)
 	if err != nil {
+		st.writeMu[i].Unlock()
 		return err
 	}
 	st.shards[i].Store(&shardState{tab: t, del: emptyDelta})
+	st.writeMu[i].Unlock()
+	// An attached store makes the replacement durable immediately (and
+	// truncates the superseded WAL entries with it). The replacement
+	// is already published either way, so a commit failure — like the
+	// identical failure on the compaction path — degrades durability,
+	// not the return value: it is surfaced through PersistErr, and a
+	// crash before a later successful commit reverts to the
+	// pre-Replace state.
+	if st.dir != "" {
+		if perr := st.persistShard(i); perr != nil {
+			st.notePersistErr(perr)
+		}
+	}
 	return nil
 }
