@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet bench bench-smoke race serve serve-write serve-tail persist fuzz-smoke examples doccheck
+.PHONY: tier1 vet bench bench-smoke report-smoke race serve serve-write serve-tail persist fuzz-smoke examples doccheck
 
 # tier1 is the verify recipe: everything must build and every test pass.
 tier1:
@@ -17,6 +17,13 @@ bench:
 # cannot bit-rot; no timing value, just the code paths.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# report-smoke produces a machine-readable result artifact from one
+# experiment and validates that it parses as a report document — the
+# check CI uploads as BENCH_smoke.json.
+report-smoke:
+	$(GO) run ./cmd/sosd -n 20000 -lookups 2000 -format json -o BENCH_smoke.json fig13
+	$(GO) run ./cmd/reportlint BENCH_smoke.json
 
 # race runs the concurrency-sensitive packages under the race detector
 # (serve includes the snapshot/restore map-oracle suite).

@@ -1,0 +1,65 @@
+// Command reportlint validates machine-readable benchmark results: it
+// parses each argument as a JSON report document (sosd -format json),
+// validates every table against its schema, and prints a one-line
+// summary per file. A non-zero exit means the file is not a valid
+// report — the check CI runs on the BENCH_smoke.json artifact, and the
+// front gate for anything ingesting result files (regression tracking,
+// perf dashboards).
+//
+// Usage:
+//
+//	reportlint results.json [...]
+//	sosd -format json fig7 | reportlint -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: reportlint <results.json|-> [...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, arg := range args {
+		if err := lint(arg); err != nil {
+			fmt.Fprintf(os.Stderr, "reportlint: %s: %v\n", arg, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func lint(path string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := report.DecodeDocument(r)
+	if err != nil {
+		return err
+	}
+	if doc.Meta.Tool == "" {
+		return fmt.Errorf("document has no meta.tool")
+	}
+	rows := 0
+	for _, t := range doc.Tables {
+		rows += len(t.Rows)
+	}
+	fmt.Printf("%s: ok: %s %s, %d tables, %d rows, %d datasets\n",
+		path, doc.Meta.Tool, doc.Meta.Version, len(doc.Tables), rows, len(doc.Meta.Datasets))
+	return nil
+}

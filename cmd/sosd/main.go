@@ -1,15 +1,24 @@
 // Command sosd runs the benchmark experiments of "Benchmarking Learned
 // Indexes" (Marcus et al., VLDB 2020). Each experiment regenerates one
 // table or figure of the paper's evaluation; see DESIGN.md for the
-// per-experiment index.
+// per-experiment index. The catalog is self-registering
+// (bench.Register); `sosd -list` is derived from it, and the list
+// below is checked against it by TestDocCommentMatchesCatalog.
 //
 // Usage:
 //
-//	sosd [-n keys] [-lookups m] [-seed s] <experiment> [...]
+//	sosd [-n keys] [-lookups m] [-seed s] [-format text|csv|json|jsonl]
+//	     [-o file] [-families f1,f2] [-datasets d1,d2] <experiment> [...]
 //
-// Experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16a fig16b fig16c fig17 regress serve
-// serve-write serve-tail persist all
+// Experiments: table1 fig6 fig7 fig8 table2 fig9 fig10 fig11 fig12
+// regress fig13 fig14 fig15 fig16a fig16b fig16c fig17 persist serve
+// serve-tail serve-write
+//
+// Results go to stdout (or -o); progress and timing go to stderr, so
+// the machine-readable formats emit pure data:
+//
+//	sosd -format json -o results.json fig7
+//	sosd -format csv -families RMI,PGM fig13
 package main
 
 import (
@@ -17,43 +26,23 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/registry"
+	"repro/internal/report"
 )
-
-var experiments = []struct {
-	name string
-	desc string
-	run  func(io.Writer, bench.Options) error
-}{
-	{"table1", "capability matrix", func(w io.Writer, _ bench.Options) error { bench.Table1(w); return nil }},
-	{"fig6", "dataset CDFs", bench.Fig6},
-	{"fig7", "Pareto size/performance sweep, 4 datasets", bench.Fig7},
-	{"fig8", "string structures (FST, Wormhole) on integers", bench.Fig8},
-	{"table2", "fastest variants vs hash tables", bench.Table2},
-	{"fig9", "dataset size scaling 1x..4x", bench.Fig9},
-	{"fig10", "32-bit vs 64-bit keys", bench.Fig10},
-	{"fig11", "last-mile search functions", bench.Fig11},
-	{"fig12", "lookup time vs explanatory metrics", bench.Fig12},
-	{"regress", "Section 4.3 OLS analysis", bench.Regress},
-	{"fig13", "size vs log2 error (compression view)", bench.Fig13},
-	{"fig14", "warm vs cold cache", bench.Fig14},
-	{"fig15", "memory-fence (serialized) lookups", bench.Fig15},
-	{"fig16a", "threads vs throughput", bench.Fig16a},
-	{"fig16b", "size vs throughput at max threads", bench.Fig16b},
-	{"fig16c", "cache misses per lookup per second", bench.Fig16c},
-	{"fig17", "build times at 1x..4x scale", bench.Fig17},
-	{"serve", "serving layer: batched table lookups + sharded store sweep", bench.ServeSweep},
-	{"serve-write", "mixed read/write workloads over the mutable store", bench.ServeWriteSweep},
-	{"serve-tail", "tail latency: closed vs open-loop (Poisson) load, p50..p99.9 per arrival rate", bench.ServeTailSweep},
-	{"persist", "cold build-from-scratch vs warm load-from-snapshot per family", bench.PersistSweep},
-}
 
 func main() {
 	n := flag.Int("n", 200_000, "dataset size in keys (the paper uses 200M)")
 	lookups := flag.Int("lookups", 20_000, "number of lookups per measurement")
-	seed := flag.Uint64("seed", 42, "dataset/workload seed")
+	seed := flag.Uint64("seed", bench.DefaultSeed, "dataset/workload seed (0 is honored as seed 0)")
+	format := flag.String("format", "text", "output format: text, csv, json, or jsonl")
+	out := flag.String("o", "", "write results to this file instead of stdout")
+	familiesFlag := flag.String("families", "", "comma-separated index families to restrict sweeps to")
+	datasetsFlag := flag.String("datasets", "", "comma-separated datasets to restrict sweeps to")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Usage = usage
 	flag.Parse()
@@ -67,49 +56,146 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	o := bench.Options{N: *n, Lookups: *lookups, Seed: *seed}
 
+	o := bench.Options{N: *n, Lookups: *lookups, Seed: *seed}
+	var err error
+	if o.Families, err = splitNames(*familiesFlag, registry.Families(), "family"); err != nil {
+		fatal(err)
+	}
+	var datasetNames []string
+	for _, d := range dataset.All() {
+		datasetNames = append(datasetNames, string(d))
+	}
+	if o.Datasets, err = splitNames(*datasetsFlag, datasetNames, "dataset"); err != nil {
+		fatal(err)
+	}
+
+	exps, err := resolve(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sosd: %v\n", err)
+		listExperiments(os.Stderr)
+		os.Exit(2)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	sink, err := newSink(*format, w)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := bench.NewRun(o)
+	for _, exp := range exps {
+		start := time.Now()
+		tables, err := exp.Run(run)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", exp.Name, err))
+		}
+		for i := range tables {
+			if err := sink.Table(&tables[i]); err != nil {
+				fatal(fmt.Errorf("%s: %w", exp.Name, err))
+			}
+		}
+		// Progress and timing are operator feedback, never data: they go
+		// to stderr so piped/machine-readable output stays pure.
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", exp.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	meta := report.NewMeta("sosd")
+	meta.Options = map[string]any{
+		"n": *n, "lookups": *lookups, "seed": *seed,
+		"families": o.Families, "datasets": o.Datasets,
+	}
+	meta.Datasets = run.DatasetChecksums()
+	if err := sink.Close(meta); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s results to %s\n", *format, *out)
+	}
+}
+
+// resolve maps CLI arguments to catalog entries, expanding "all".
+func resolve(args []string) ([]bench.Experiment, error) {
+	var exps []bench.Experiment
 	for _, name := range args {
 		if name == "all" {
-			for _, exp := range experiments {
-				runOne(exp.name, exp.run, o)
-			}
+			exps = append(exps, bench.Experiments()...)
+			continue
+		}
+		exp, ok := bench.Find(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", name)
+		}
+		exps = append(exps, exp)
+	}
+	return exps, nil
+}
+
+// newSink picks the report sink for a -format value.
+func newSink(format string, w io.Writer) (report.Sink, error) {
+	switch format {
+	case "text":
+		return report.NewText(w), nil
+	case "csv":
+		return report.NewCSV(w), nil
+	case "json":
+		return report.NewJSON(w), nil
+	case "jsonl":
+		return report.NewJSONL(w), nil
+	}
+	return nil, fmt.Errorf("unknown format %q (want text, csv, json, or jsonl)", format)
+}
+
+// splitNames parses a comma-separated filter flag, rejecting names not
+// in the known set so a typo fails loudly instead of producing an
+// empty report.
+func splitNames(s string, known []string, kind string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
 			continue
 		}
 		found := false
-		for _, exp := range experiments {
-			if exp.name == name {
-				runOne(exp.name, exp.run, o)
+		for _, k := range known {
+			if k == name {
 				found = true
 				break
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "sosd: unknown experiment %q\n", name)
-			listExperiments(os.Stderr)
-			os.Exit(2)
+			return nil, fmt.Errorf("unknown %s %q (known: %s)", kind, name, strings.Join(known, ", "))
 		}
+		out = append(out, name)
 	}
+	return out, nil
 }
 
-func runOne(name string, run func(io.Writer, bench.Options) error, o bench.Options) {
-	start := time.Now()
-	if err := run(os.Stdout, o); err != nil {
-		fmt.Fprintf(os.Stderr, "sosd: %s: %v\n", name, err)
-		os.Exit(1)
-	}
-	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sosd: %v\n", err)
+	os.Exit(1)
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: sosd [-n keys] [-lookups m] [-seed s] <experiment>...\n\n")
+	fmt.Fprintf(os.Stderr, "usage: sosd [-n keys] [-lookups m] [-seed s] [-format text|csv|json|jsonl] [-o file] [-families f1,f2] [-datasets d1,d2] <experiment>...\n\n")
 	listExperiments(os.Stderr)
 }
 
 func listExperiments(w io.Writer) {
 	fmt.Fprintln(w, "experiments:")
-	for _, exp := range experiments {
-		fmt.Fprintf(w, "  %-8s %s\n", exp.name, exp.desc)
+	for _, exp := range bench.Experiments() {
+		fmt.Fprintf(w, "  %-12s %s\n", exp.Name, exp.Desc)
 	}
-	fmt.Fprintln(w, "  all      run everything")
+	fmt.Fprintln(w, "  all          run everything")
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestDocCommentMatchesCatalog guards the package doc comment's
+// experiment list against catalog drift: every registered experiment
+// must be named, and no stale name may linger. The list stays
+// hand-formatted for godoc, but this check makes it effectively
+// generated.
+func TestDocCommentMatchesCatalog(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "main.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := f.Doc.Text()
+	// The list is the paragraph starting "Experiments:"; it may wrap
+	// over several lines and ends at the first blank line.
+	i := strings.Index(doc, "Experiments:")
+	if i < 0 {
+		t.Fatal("doc comment has no \"Experiments:\" paragraph")
+	}
+	para := doc[i+len("Experiments:"):]
+	if j := strings.Index(para, "\n\n"); j >= 0 {
+		para = para[:j]
+	}
+	listed := map[string]bool{}
+	for _, name := range strings.Fields(para) {
+		listed[name] = true
+	}
+
+	var missing, known []string
+	for _, exp := range bench.Experiments() {
+		known = append(known, exp.Name)
+		if !listed[exp.Name] {
+			missing = append(missing, exp.Name)
+		}
+		delete(listed, exp.Name)
+	}
+	if len(missing) > 0 {
+		t.Errorf("doc comment misses catalog experiments %v", missing)
+	}
+	for stale := range listed {
+		t.Errorf("doc comment lists %q, which is not in the catalog (%v)", stale, known)
+	}
+}
+
+func TestResolveAndSinks(t *testing.T) {
+	exps, err := resolve([]string{"all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != len(bench.Experiments()) {
+		t.Errorf("all resolved to %d experiments, catalog has %d", len(exps), len(bench.Experiments()))
+	}
+	if _, err := resolve([]string{"nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	for _, f := range []string{"text", "csv", "json", "jsonl"} {
+		if _, err := newSink(f, nil); err != nil {
+			t.Errorf("format %s rejected: %v", f, err)
+		}
+	}
+	if _, err := newSink("xml", nil); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestSplitNames(t *testing.T) {
+	known := []string{"RMI", "PGM"}
+	got, err := splitNames("RMI, PGM", known, "family")
+	if err != nil || len(got) != 2 {
+		t.Errorf("splitNames = %v, %v", got, err)
+	}
+	if _, err := splitNames("XYZ", known, "family"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if got, err := splitNames("", known, "family"); got != nil || err != nil {
+		t.Errorf("empty filter = %v, %v; want nil, nil", got, err)
+	}
+}

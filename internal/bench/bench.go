@@ -5,11 +5,13 @@
 // paper's evaluation (Section 4). Beyond the paper it measures the
 // repo's serving layer: batched and sharded lookup sweeps (serve) and
 // YCSB-style mixed read/write workloads over the mutable store
-// (serve-write). See DESIGN.md for the experiment index.
+// (serve-write). Experiments self-register in a catalog
+// (Register/Experiments/Find) and produce typed report.Tables; the
+// sosd CLI renders them through the report sinks. See DESIGN.md for
+// the experiment index.
 package bench
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -320,5 +322,3 @@ func MeasureWarmBatch(e *Env, t *table.Table, batch int) Measurement {
 		Checksum:    sum,
 	}
 }
-
-var _ = fmt.Sprintf // fmt is used by the experiment printers in this package

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"bytes"
 	"strings"
 	"testing"
 
@@ -102,23 +101,12 @@ func TestBestVariant(t *testing.T) {
 }
 
 func TestExperimentSmoke(t *testing.T) {
-	var buf bytes.Buffer
-	Table1(&buf)
-	if !strings.Contains(buf.String(), "Wormhole") {
-		t.Error("table 1 incomplete")
+	var out strings.Builder
+	for _, name := range []string{"table1", "fig6", "table2", "fig13"} {
+		out.WriteString(renderCatalog(t, name, tiny))
 	}
-	if err := Fig6(&buf, tiny); err != nil {
-		t.Fatalf("fig6: %v", err)
-	}
-	if err := Table2(&buf, tiny); err != nil {
-		t.Fatalf("table2: %v", err)
-	}
-	if err := Fig13(&buf, tiny); err != nil {
-		t.Fatalf("fig13: %v", err)
-	}
-	out := buf.String()
-	for _, want := range []string{"cdf=", "fastest variant", "log2err"} {
-		if !strings.Contains(out, want) {
+	for _, want := range []string{"Wormhole", "cdf", "fastest variant", "log2err"} {
+		if !strings.Contains(out.String(), want) {
 			t.Errorf("missing %q in experiment output", want)
 		}
 	}

@@ -1,8 +1,7 @@
 package bench
 
 import (
-	"fmt"
-	"io"
+	"strconv"
 	"time"
 
 	"repro/internal/btree"
@@ -14,6 +13,7 @@ import (
 	"repro/internal/pgm"
 	"repro/internal/rbs"
 	"repro/internal/registry"
+	"repro/internal/report"
 	"repro/internal/rmi"
 	"repro/internal/rs"
 	"repro/internal/search"
@@ -22,36 +22,33 @@ import (
 	artpkg "repro/internal/art"
 )
 
-// Options scales the experiments. Scale 1 corresponds to the default
-// laptop-scale dataset size (the paper's 200M keys map to DefaultN).
-type Options struct {
-	N       int // dataset size; 0 = dataset.DefaultN/10 (quick)
-	Lookups int // lookup count; 0 = N/10
-	Seed    uint64
+// The paper's experiments, registered in figure order. Each returns
+// typed report.Tables; rendering belongs to the report sinks.
+func init() {
+	Register(Experiment{"table1", "capability matrix", table1})
+	Register(Experiment{"fig6", "dataset CDFs", fig6})
+	Register(Experiment{"fig7", "Pareto size/performance sweep, 4 datasets", fig7})
+	Register(Experiment{"fig8", "string structures (FST, Wormhole) on integers", fig8})
+	Register(Experiment{"table2", "fastest variants vs hash tables", table2})
+	Register(Experiment{"fig9", "dataset size scaling 1x..4x", fig9})
+	Register(Experiment{"fig10", "32-bit vs 64-bit keys", fig10})
+	Register(Experiment{"fig11", "last-mile search functions", fig11})
+	Register(Experiment{"fig12", "lookup time vs explanatory metrics", fig12})
+	Register(Experiment{"regress", "Section 4.3 OLS analysis", regress})
+	Register(Experiment{"fig13", "size vs log2 error (compression view)", fig13})
+	Register(Experiment{"fig14", "warm vs cold cache", fig14})
+	Register(Experiment{"fig15", "memory-fence (serialized) lookups", fig15})
+	Register(Experiment{"fig16a", "threads vs throughput", fig16a})
+	Register(Experiment{"fig16b", "size vs throughput at max threads", fig16b})
+	Register(Experiment{"fig16c", "cache misses per lookup per second", fig16c})
+	Register(Experiment{"fig17", "build times at 1x..4x scale", fig17})
 }
 
-func (o Options) withDefaults() Options {
-	if o.N == 0 {
-		o.N = dataset.DefaultN / 10
-	}
-	if o.Lookups == 0 {
-		o.Lookups = o.N / 10
-	}
-	if o.Seed == 0 {
-		o.Seed = 42
-	}
-	return o
-}
-
-func (o Options) env(name dataset.Name) (*Env, error) {
-	return NewEnv(name, o.N, o.Lookups, o.Seed)
-}
-
-// Table1 prints the capability matrix of Table 1 (static facts about
+// table1 reports the capability matrix of Table 1 (static facts about
 // the implemented structures).
-func Table1(w io.Writer) {
-	fmt.Fprintln(w, "Table 1: search techniques evaluated")
-	fmt.Fprintf(w, "%-10s %-8s %-8s %s\n", "Method", "Updates", "Ordered", "Type")
+func table1(r *Run) ([]report.Table, error) {
+	t := report.New("table1", "Table 1: search techniques evaluated").
+		Dims("Method", "Updates", "Ordered", "Type")
 	rows := [][4]string{
 		{"PGM", "Yes", "Yes", "Learned"},
 		{"RS", "No", "Yes", "Learned"},
@@ -67,148 +64,162 @@ func Table1(w io.Writer) {
 		{"RBS", "No", "Yes", "Lookup table"},
 		{"BS", "No", "Yes", "Binary search"},
 	}
-	for _, r := range rows {
-		fmt.Fprintf(w, "%-10s %-8s %-8s %s\n", r[0], r[1], r[2], r[3])
+	for _, row := range rows {
+		if r.FamilyAllowed(row[0]) {
+			t.Row([]string{row[0], row[1], row[2], row[3]})
+		}
 	}
+	return []report.Table{*t}, nil
 }
 
-// Fig6 prints CDF samples for each dataset (Figure 6).
-func Fig6(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	fmt.Fprintln(w, "Figure 6: dataset CDFs (normalized key -> relative position)")
-	for _, name := range dataset.All() {
-		keys, err := dataset.Generate(name, o.N, o.Seed)
+// fig6 reports CDF samples for each dataset (Figure 6).
+func fig6(r *Run) ([]report.Table, error) {
+	t := report.New("fig6", "Figure 6: dataset CDFs (normalized key -> relative position)").
+		Dims("data").
+		Float("key", "norm", 3).
+		Float("cdf", "frac", 3)
+	for _, name := range r.Datasets(dataset.All()) {
+		e, err := r.Env(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		xs, ys := dataset.CDF(keys, 21)
-		fmt.Fprintf(w, "%s:\n", name)
+		xs, ys := dataset.CDF(e.Keys, 21)
 		minK, maxK := float64(xs[0]), float64(xs[len(xs)-1])
 		for i := range xs {
 			nk := 0.0
 			if maxK > minK {
 				nk = (float64(xs[i]) - minK) / (maxK - minK)
 			}
-			fmt.Fprintf(w, "  key=%.3f cdf=%.3f\n", nk, ys[i])
+			t.Row([]string{string(name)}, nk, ys[i])
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
-// Fig7 prints the Pareto sweep of Figure 7: size vs warm lookup time
+// paretoSchema is the shared shape of the size-vs-latency sweeps.
+func paretoSchema(experiment, title string) *report.Table {
+	return report.New(experiment, title).
+		Dims("data", "index", "config").
+		Float("size(MB)", "MB", 4).
+		Float("ns/lookup", "ns", 1)
+}
+
+// fig7 reports the Pareto sweep of Figure 7: size vs warm lookup time
 // for every structure family on every dataset, plus the BS baseline.
-func Fig7(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	fmt.Fprintln(w, "Figure 7: performance/size tradeoffs (warm cache, tight loop)")
-	fmt.Fprintf(w, "%-6s %-8s %-24s %12s %12s\n", "data", "index", "config", "size(MB)", "ns/lookup")
-	for _, name := range dataset.All() {
-		e, err := o.env(name)
+func fig7(r *Run) ([]report.Table, error) {
+	t := paretoSchema("fig7", "Figure 7: performance/size tradeoffs (warm cache, tight loop)").
+		Notef("BS rows are the size-0 binary-search baseline")
+	for _, name := range r.Datasets(dataset.All()) {
+		e, err := r.Env(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		bs := MeasureWarm(e, mustBS(e), search.BinarySearch)
-		fmt.Fprintf(w, "%-6s %-8s %-24s %12.4f %12.1f   <- baseline (size 0)\n",
-			name, "BS", "", 0.0, bs.NsPerLookup)
-		for _, family := range registry.ParetoFamilies {
+		if r.FamilyAllowed("BS") {
+			bs := MeasureWarm(e, mustBS(e), search.BinarySearch)
+			t.Row([]string{string(name), "BS", ""}, 0, bs.NsPerLookup)
+		}
+		for _, family := range r.Families(registry.ParetoFamilies) {
 			for _, nb := range registry.Sweep(family, e.Keys) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					continue
 				}
 				m := MeasureWarm(e, idx, search.BinarySearch)
-				fmt.Fprintf(w, "%-6s %-8s %-24s %12.4f %12.1f\n",
-					name, family, nb.Label, MB(idx.SizeBytes()), m.NsPerLookup)
+				t.Row([]string{string(name), family, nb.Label}, MB(idx.SizeBytes()), m.NsPerLookup)
 			}
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
-// Fig8 prints the string-structure comparison of Figure 8 on amzn and
+// fig8 reports the string-structure comparison of Figure 8 on amzn and
 // face: FST and Wormhole against RMI and BTree.
-func Fig8(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	fmt.Fprintln(w, "Figure 8: structures designed for strings, on integer keys")
-	fmt.Fprintf(w, "%-6s %-9s %-24s %12s %12s\n", "data", "index", "config", "size(MB)", "ns/lookup")
-	for _, name := range []dataset.Name{dataset.Amzn, dataset.Face} {
-		e, err := o.env(name)
+func fig8(r *Run) ([]report.Table, error) {
+	t := paretoSchema("fig8", "Figure 8: structures designed for strings, on integer keys").
+		Notef("BS rows are the size-0 binary-search baseline")
+	for _, name := range r.Datasets([]dataset.Name{dataset.Amzn, dataset.Face}) {
+		e, err := r.Env(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		bs := MeasureWarm(e, mustBS(e), search.BinarySearch)
-		fmt.Fprintf(w, "%-6s %-9s %-24s %12.4f %12.1f   <- baseline\n", name, "BS", "", 0.0, bs.NsPerLookup)
-		for _, family := range registry.StringFamilies {
+		if r.FamilyAllowed("BS") {
+			bs := MeasureWarm(e, mustBS(e), search.BinarySearch)
+			t.Row([]string{string(name), "BS", ""}, 0, bs.NsPerLookup)
+		}
+		for _, family := range r.Families(registry.StringFamilies) {
 			for _, nb := range registry.Sweep(family, e.Keys) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					continue
 				}
 				m := MeasureWarm(e, idx, search.BinarySearch)
-				fmt.Fprintf(w, "%-6s %-9s %-24s %12.4f %12.1f\n",
-					name, family, nb.Label, MB(idx.SizeBytes()), m.NsPerLookup)
+				t.Row([]string{string(name), family, nb.Label}, MB(idx.SizeBytes()), m.NsPerLookup)
 			}
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
-// Table2 prints the fastest variant of each structure against the two
-// hashing techniques on amzn (Table 2).
-func Table2(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	e, err := o.env(dataset.Amzn)
+// table2 reports the fastest variant of each structure against the
+// two hashing techniques on amzn (Table 2).
+func table2(r *Run) ([]report.Table, error) {
+	e, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Table 2: fastest variant of each index vs hashing (amzn)")
-	fmt.Fprintf(w, "%-10s %12s %12s   %s\n", "Method", "ns/lookup", "size(MB)", "config")
-	for _, family := range registry.Table2Families {
+	t := report.New("table2", "Table 2: fastest variant of each index vs hashing (amzn)").
+		Dims("Method", "config").
+		Float("ns/lookup", "ns", 1).
+		Float("size(MB)", "MB", 4)
+	for _, family := range r.Families(registry.Table2Families) {
 		nb, idx, ns := BestVariant(e, family, func(e *Env, idx core.Index) float64 {
 			return MeasureWarm(e, idx, search.BinarySearch).NsPerLookup
 		})
 		if idx == nil {
 			continue
 		}
-		fmt.Fprintf(w, "%-10s %12.1f %12.4f   %s\n", family, ns, MB(idx.SizeBytes()), nb.Label)
+		t.Row([]string{family, nb.Label}, ns, MB(idx.SizeBytes()))
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
-// Fig9 prints the dataset-size scaling of Figure 9: amzn at 1x..4x.
-func Fig9(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	fmt.Fprintln(w, "Figure 9: performance/size across dataset sizes (amzn)")
-	fmt.Fprintf(w, "%-9s %-8s %-24s %12s %12s\n", "keys", "index", "config", "size(MB)", "ns/lookup")
+// fig9 reports the dataset-size scaling of Figure 9: amzn at 1x..4x.
+func fig9(r *Run) ([]report.Table, error) {
+	o := r.Options
+	t := report.New("fig9", "Figure 9: performance/size across dataset sizes (amzn)").
+		Dims("keys", "index", "config").
+		Float("size(MB)", "MB", 4).
+		Float("ns/lookup", "ns", 1)
 	for mult := 1; mult <= 4; mult++ {
-		e, err := NewEnv(dataset.Amzn, o.N*mult, o.Lookups, o.Seed)
+		e, err := r.EnvAt(dataset.Amzn, o.N*mult, o.Lookups)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		for _, family := range []string{"RMI", "PGM", "RS", "BTree"} {
+		for _, family := range r.Families([]string{"RMI", "PGM", "RS", "BTree"}) {
 			for _, nb := range registry.Sweep(family, e.Keys) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					continue
 				}
 				m := MeasureWarm(e, idx, search.BinarySearch)
-				fmt.Fprintf(w, "%-9d %-8s %-24s %12.4f %12.1f\n",
-					o.N*mult, family, nb.Label, MB(idx.SizeBytes()), m.NsPerLookup)
+				t.Row([]string{strconv.Itoa(o.N * mult), family, nb.Label},
+					MB(idx.SizeBytes()), m.NsPerLookup)
 			}
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
-// Fig10 prints the 32-bit vs 64-bit key comparison of Figure 10 on
+// fig10 reports the 32-bit vs 64-bit key comparison of Figure 10 on
 // amzn. Learned structures run on rank-preserving 32-bit rescalings
 // widened back to uint64 (the paper's RMI/RS implementations widen to
 // float64 anyway); BTree and FAST additionally run native 32-bit
 // instantiations where key packing matters architecturally.
-func Fig10(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	e64, err := o.env(dataset.Amzn)
+func fig10(r *Run) ([]report.Table, error) {
+	o := r.Options
+	e64, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	k32 := dataset.To32(e64.Keys)
 	widened := make([]core.Key, len(k32))
@@ -218,16 +229,19 @@ func Fig10(w io.Writer, o Options) error {
 	e32 := &Env{Dataset: "amzn32", Keys: widened, Payloads: e64.Payloads,
 		Lookups: dataset.Lookups(widened, o.Lookups, o.Seed)}
 
-	fmt.Fprintln(w, "Figure 10: 32-bit vs 64-bit keys (amzn)")
-	fmt.Fprintf(w, "%-8s %-6s %-24s %12s %12s\n", "index", "bits", "config", "size(MB)", "ns/lookup")
-	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
+	t := report.New("fig10", "Figure 10: 32-bit vs 64-bit keys (amzn)").
+		Dims("index", "bits", "config").
+		Float("size(MB)", "MB", 4).
+		Float("ns/lookup", "ns", 1)
+	families := r.Families([]string{"RMI", "RS", "PGM", "BTree", "FAST"})
+	for _, family := range families {
 		for _, nb := range registry.Sweep(family, e64.Keys) {
 			idx, err := nb.Builder.Build(e64.Keys)
 			if err != nil {
 				continue
 			}
 			m := MeasureWarm(e64, idx, search.BinarySearch)
-			fmt.Fprintf(w, "%-8s %-6s %-24s %12.4f %12.1f\n", family, "64", nb.Label, MB(idx.SizeBytes()), m.NsPerLookup)
+			t.Row([]string{family, "64", nb.Label}, MB(idx.SizeBytes()), m.NsPerLookup)
 		}
 		for _, nb := range registry.Sweep(family, e32.Keys) {
 			idx, err := nb.Builder.Build(e32.Keys)
@@ -241,14 +255,20 @@ func Fig10(w io.Writer, o Options) error {
 				// native footprint measured below.
 				size = native32Size(family, k32)
 			}
-			fmt.Fprintf(w, "%-8s %-6s %-24s %12.4f %12.1f\n", family, "32", nb.Label, MB(size), m.NsPerLookup)
+			t.Row([]string{family, "32", nb.Label}, MB(size), m.NsPerLookup)
 		}
 	}
 	// Native 32-bit lookup loops for the tree structures.
-	fmt.Fprintln(w, "native 32-bit tree loops (Ceiling only):")
-	fmt.Fprintf(w, "  BTree32: %.1f ns/op\n", native32BTreeNs(k32, e32))
-	fmt.Fprintf(w, "  FAST32:  %.1f ns/op\n", native32FASTNs(k32, e32))
-	return nil
+	native := report.New("fig10", "Figure 10 (cont.): native 32-bit tree loops (Ceiling only)").
+		Dims("index").
+		Float("ns/op", "ns", 1)
+	if r.FamilyAllowed("BTree") {
+		native.Row([]string{"BTree32"}, native32BTreeNs(k32, e32))
+	}
+	if r.FamilyAllowed("FAST") {
+		native.Row([]string{"FAST32"}, native32FASTNs(k32, e32))
+	}
+	return []report.Table{*t, *native}, nil
 }
 
 func native32Size(family string, k32 []core.Key32) int {
@@ -318,19 +338,19 @@ func native32FASTNs(k32 []core.Key32, e *Env) float64 {
 	return float64(elapsed.Nanoseconds()) / float64(len(lookups))
 }
 
-// Fig11 prints the last-mile search comparison of Figure 11: binary,
+// fig11 reports the last-mile search comparison of Figure 11: binary,
 // linear and interpolation search for each learned structure on amzn
 // and osm.
-func Fig11(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	fmt.Fprintln(w, "Figure 11: last-mile search functions")
-	fmt.Fprintf(w, "%-6s %-8s %-24s %-14s %12s\n", "data", "index", "config", "search", "ns/lookup")
-	for _, name := range []dataset.Name{dataset.Amzn, dataset.OSM} {
-		e, err := o.env(name)
+func fig11(r *Run) ([]report.Table, error) {
+	t := report.New("fig11", "Figure 11: last-mile search functions").
+		Dims("data", "index", "config", "search").
+		Float("ns/lookup", "ns", 1)
+	for _, name := range r.Datasets([]dataset.Name{dataset.Amzn, dataset.OSM}) {
+		e, err := r.Env(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		for _, family := range []string{"RMI", "PGM", "RS", "RBS"} {
+		for _, family := range r.Families([]string{"RMI", "PGM", "RS", "RBS"}) {
 			for _, nb := range registry.Sweep(family, e.Keys) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
@@ -338,13 +358,12 @@ func Fig11(w io.Writer, o Options) error {
 				}
 				for _, kind := range []search.Kind{search.Binary, search.Linear, search.Interpolation} {
 					m := MeasureWarm(e, idx, search.ByKind(kind))
-					fmt.Fprintf(w, "%-6s %-8s %-24s %-14s %12.1f\n",
-						name, family, nb.Label, kind, m.NsPerLookup)
+					t.Row([]string{string(name), family, nb.Label, kind.String()}, m.NsPerLookup)
 				}
 			}
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
 // CounterRow is one structure+configuration sample of Figure 12 /
@@ -365,10 +384,17 @@ type CounterRow struct {
 // for every configuration of the given families on a dataset.
 func CollectCounters(o Options, name dataset.Name, families []string) ([]CounterRow, error) {
 	o = o.withDefaults()
-	e, err := o.env(name)
+	e, err := NewEnv(name, o.N, o.Lookups, o.Seed)
 	if err != nil {
 		return nil, err
 	}
+	return countersFromEnv(e, families), nil
+}
+
+// countersFromEnv is CollectCounters over an existing environment —
+// the catalog experiments build theirs through Run.EnvAt so dataset
+// checksums land in the run metadata.
+func countersFromEnv(e *Env, families []string) []CounterRow {
 	var rows []CounterRow
 	for _, family := range families {
 		for _, nb := range registry.Sweep(family, e.Keys) {
@@ -392,7 +418,7 @@ func CollectCounters(o Options, name dataset.Name, families []string) ([]Counter
 			c := m.Counters()
 			nl := float64(len(e.Lookups))
 			rows = append(rows, CounterRow{
-				Dataset:      name,
+				Dataset:      e.Dataset,
 				Family:       family,
 				Label:        nb.Label,
 				SizeMB:       MB(idx.SizeBytes()),
@@ -404,7 +430,7 @@ func CollectCounters(o Options, name dataset.Name, families []string) ([]Counter
 			})
 		}
 	}
-	return rows, nil
+	return rows
 }
 
 // traceFor wires a built index into a fresh simulated machine. The
@@ -450,24 +476,34 @@ func traceFor(family string, idx core.Index, e *Env) (perfsim.Traced, *perfsim.M
 	return nil, nil
 }
 
-// Fig12 prints lookup time against each candidate explanatory metric
-// (Figure 12) for amzn and osm.
-func Fig12(w io.Writer, o Options) error {
-	fmt.Fprintln(w, "Figure 12: lookup time vs candidate explanatory metrics")
-	fmt.Fprintf(w, "%-6s %-8s %-24s %10s %8s %10s %10s %10s %10s\n",
-		"data", "index", "config", "size(MB)", "log2err", "ns/lookup", "c-miss", "br-miss", "instr")
-	for _, name := range []dataset.Name{dataset.Amzn, dataset.OSM} {
-		rows, err := CollectCounters(o, name, registry.Fig12Families)
-		if err != nil {
-			return err
-		}
-		for _, r := range rows {
-			fmt.Fprintf(w, "%-6s %-8s %-24s %10.4f %8.2f %10.1f %10.2f %10.2f %10.1f\n",
-				r.Dataset, r.Family, r.Label, r.SizeMB, r.Log2Err, r.NsPerLookup,
-				r.CacheMisses, r.BranchMisses, r.Instructions)
-		}
+// counterTable renders CounterRows into the Figure 12 table shape.
+func counterTable(t *report.Table, rows []CounterRow) {
+	for _, cr := range rows {
+		t.Row([]string{string(cr.Dataset), cr.Family, cr.Label},
+			cr.SizeMB, cr.Log2Err, cr.NsPerLookup,
+			cr.CacheMisses, cr.BranchMisses, cr.Instructions)
 	}
-	return nil
+}
+
+// fig12 reports lookup time against each candidate explanatory metric
+// (Figure 12) for amzn and osm.
+func fig12(r *Run) ([]report.Table, error) {
+	t := report.New("fig12", "Figure 12: lookup time vs candidate explanatory metrics").
+		Dims("data", "index", "config").
+		Float("size(MB)", "MB", 4).
+		Float("log2err", "log2", 2).
+		Float("ns/lookup", "ns", 1).
+		Float("c-miss", "misses/op", 2).
+		Float("br-miss", "misses/op", 2).
+		Float("instr", "instr/op", 1)
+	for _, name := range r.Datasets([]dataset.Name{dataset.Amzn, dataset.OSM}) {
+		e, err := r.Env(name)
+		if err != nil {
+			return nil, err
+		}
+		counterTable(t, countersFromEnv(e, r.Families(registry.Fig12Families)))
+	}
+	return []report.Table{*t}, nil
 }
 
 // measureWarmBest returns the fastest of reps warm measurements,
@@ -482,7 +518,7 @@ func measureWarmBest(e *Env, idx core.Index, reps int) Measurement {
 	return best
 }
 
-// Regress runs the Section 4.3 analysis: an OLS of lookup time on
+// regress runs the Section 4.3 analysis: an OLS of lookup time on
 // cache misses, branch misses and instruction count across every
 // structure and dataset, and a second model adding size and log2
 // error to confirm they add no significant explanatory power.
@@ -491,8 +527,8 @@ func measureWarmBest(e *Env, idx core.Index, reps int) Measurement {
 // a 27 MB LLC); the dataset size is floored here so the working set
 // exceeds the host LLC, otherwise lookup latency decouples from memory
 // behaviour and the regression degenerates.
-func Regress(w io.Writer, o Options) error {
-	o = o.withDefaults()
+func regress(r *Run) ([]report.Table, error) {
+	o := r.Options
 	if o.N < 2_000_000 {
 		o.N = 2_000_000
 	}
@@ -500,12 +536,14 @@ func Regress(w io.Writer, o Options) error {
 		o.Lookups = 100_000
 	}
 	var rows []CounterRow
-	for _, name := range dataset.All() {
-		r, err := CollectCounters(o, name, registry.Fig12Families)
+	for _, name := range r.Datasets(dataset.All()) {
+		// EnvAt (not CollectCounters) so the floored scale and its
+		// dataset checksums are recorded in the run metadata.
+		e, err := r.EnvAt(name, o.N, o.Lookups)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		rows = append(rows, r...)
+		rows = append(rows, countersFromEnv(e, r.Families(registry.Fig12Families))...)
 	}
 	y := make([]float64, len(rows))
 	cm := make([]float64, len(rows))
@@ -513,69 +551,85 @@ func Regress(w io.Writer, o Options) error {
 	in := make([]float64, len(rows))
 	sz := make([]float64, len(rows))
 	le := make([]float64, len(rows))
-	for i, r := range rows {
-		y[i] = r.NsPerLookup
-		cm[i] = r.CacheMisses
-		bm[i] = r.BranchMisses
-		in[i] = r.Instructions
-		sz[i] = r.SizeMB
-		le[i] = r.Log2Err
+	for i, cr := range rows {
+		y[i] = cr.NsPerLookup
+		cm[i] = cr.CacheMisses
+		bm[i] = cr.BranchMisses
+		in[i] = cr.Instructions
+		sz[i] = cr.SizeMB
+		le[i] = cr.Log2Err
 	}
-	fmt.Fprintln(w, "Section 4.3 regression: lookup time ~ cache misses + branch misses + instructions")
+	t := report.New("regress", "Section 4.3 regression: lookup time ~ cache misses + branch misses + instructions").
+		Dims("model", "term").
+		Float("coef", "", 4).
+		Float("std", "beta", 3).
+		Float("p", "", 4)
 	reg, err := stats.OLS(y, []string{"cache_misses", "branch_misses", "instructions"}, cm, bm, in)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprint(w, reg.String())
-	fmt.Fprintln(w, "extended model (+size, +log2err):")
+	regressRows(t, "counters", reg)
 	reg2, err := stats.OLS(y, []string{"cache_misses", "branch_misses", "instructions", "size_mb", "log2_err"},
 		cm, bm, in, sz, le)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprint(w, reg2.String())
-	return nil
+	regressRows(t, "extended", reg2)
+	t.Notef("extended model adds size and log2 error to confirm they carry no extra explanatory power")
+	t.Notef("measured at n=%d, lookups=%d (floored so the working set exceeds the LLC; see doc comment)", o.N, o.Lookups)
+	return []report.Table{*t}, nil
 }
 
-// Fig13 prints the compression view of Figure 13: size vs log2 error
+// regressRows appends one fitted model's terms and its fit summary.
+func regressRows(t *report.Table, model string, reg *stats.Regression) {
+	for j, name := range reg.Names {
+		t.Row([]string{model, name}, reg.Coef[j+1], reg.StdCoef[j], reg.PValues[j])
+	}
+	t.Notef("%s: R²=%.3f n=%d df=%d", model, reg.R2, reg.N, reg.DF)
+}
+
+// fig13 reports the compression view of Figure 13: size vs log2 error
 // for the learned structures and the BTree.
-func Fig13(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	fmt.Fprintln(w, "Figure 13: size vs log2 error (learned indexes as compression)")
-	fmt.Fprintf(w, "%-6s %-8s %-24s %12s %10s\n", "data", "index", "config", "size(MB)", "log2err")
-	for _, name := range []dataset.Name{dataset.Amzn, dataset.OSM} {
-		e, err := o.env(name)
+func fig13(r *Run) ([]report.Table, error) {
+	t := report.New("fig13", "Figure 13: size vs log2 error (learned indexes as compression)").
+		Dims("data", "index", "config").
+		Float("size(MB)", "MB", 4).
+		Float("log2err", "log2", 2)
+	for _, name := range r.Datasets([]dataset.Name{dataset.Amzn, dataset.OSM}) {
+		e, err := r.Env(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		for _, family := range []string{"RS", "RMI", "PGM", "BTree"} {
+		for _, family := range r.Families([]string{"RS", "RMI", "PGM", "BTree"}) {
 			for _, nb := range registry.Sweep(family, e.Keys) {
 				idx, err := nb.Builder.Build(e.Keys)
 				if err != nil {
 					continue
 				}
-				fmt.Fprintf(w, "%-6s %-8s %-24s %12.4f %10.2f\n",
-					name, family, nb.Label, MB(idx.SizeBytes()), AvgLog2Width(e, idx))
+				t.Row([]string{string(name), family, nb.Label},
+					MB(idx.SizeBytes()), AvgLog2Width(e, idx))
 			}
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
-// Fig14 prints the warm/cold cache comparison of Figure 14 on amzn.
-func Fig14(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	e, err := o.env(dataset.Amzn)
+// fig14 reports the warm/cold cache comparison of Figure 14 on amzn.
+func fig14(r *Run) ([]report.Table, error) {
+	e, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	coldOps := o.Lookups / 20
+	coldOps := r.Options.Lookups / 20
 	if coldOps < 50 {
 		coldOps = 50
 	}
-	fmt.Fprintln(w, "Figure 14: warm vs cold cache (amzn)")
-	fmt.Fprintf(w, "%-8s %-24s %12s %12s %12s\n", "index", "config", "size(MB)", "warm(ns)", "cold(ns)")
-	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
+	t := report.New("fig14", "Figure 14: warm vs cold cache (amzn)").
+		Dims("index", "config").
+		Float("size(MB)", "MB", 4).
+		Float("warm(ns)", "ns", 1).
+		Float("cold(ns)", "ns", 1)
+	for _, family := range r.Families([]string{"RMI", "RS", "PGM", "BTree", "FAST"}) {
 		for _, nb := range registry.Sweep(family, e.Keys) {
 			idx, err := nb.Builder.Build(e.Keys)
 			if err != nil {
@@ -583,23 +637,25 @@ func Fig14(w io.Writer, o Options) error {
 			}
 			warm := MeasureWarm(e, idx, search.BinarySearch)
 			cold := MeasureCold(e, idx, search.BinarySearch, coldOps)
-			fmt.Fprintf(w, "%-8s %-24s %12.4f %12.1f %12.1f\n",
-				family, nb.Label, MB(idx.SizeBytes()), warm.NsPerLookup, cold.NsPerLookup)
+			t.Row([]string{family, nb.Label},
+				MB(idx.SizeBytes()), warm.NsPerLookup, cold.NsPerLookup)
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
-// Fig15 prints the fence comparison of Figure 15 on amzn.
-func Fig15(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	e, err := o.env(dataset.Amzn)
+// fig15 reports the fence comparison of Figure 15 on amzn.
+func fig15(r *Run) ([]report.Table, error) {
+	e, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Figure 15: serialized (\"fenced\") vs pipelined lookups (amzn)")
-	fmt.Fprintf(w, "%-8s %-24s %12s %12s %12s\n", "index", "config", "size(MB)", "no-fence", "fence")
-	for _, family := range []string{"RMI", "RS", "PGM", "BTree", "FAST"} {
+	t := report.New("fig15", "Figure 15: serialized (\"fenced\") vs pipelined lookups (amzn)").
+		Dims("index", "config").
+		Float("size(MB)", "MB", 4).
+		Float("no-fence", "ns", 1).
+		Float("fence", "ns", 1)
+	for _, family := range r.Families([]string{"RMI", "RS", "PGM", "BTree", "FAST"}) {
 		for _, nb := range registry.Sweep(family, e.Keys) {
 			idx, err := nb.Builder.Build(e.Keys)
 			if err != nil {
@@ -607,24 +663,25 @@ func Fig15(w io.Writer, o Options) error {
 			}
 			plain := MeasureWarm(e, idx, search.BinarySearch)
 			fenced := MeasureFenced(e, idx, search.BinarySearch)
-			fmt.Fprintf(w, "%-8s %-24s %12.4f %12.1f %12.1f\n",
-				family, nb.Label, MB(idx.SizeBytes()), plain.NsPerLookup, fenced.NsPerLookup)
+			t.Row([]string{family, nb.Label},
+				MB(idx.SizeBytes()), plain.NsPerLookup, fenced.NsPerLookup)
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
-// Fig16a prints multithreaded throughput against thread count, with
+// fig16a reports multithreaded throughput against thread count, with
 // and without the serialized loop, at a mid-size configuration.
-func Fig16a(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	e, err := o.env(dataset.Amzn)
+func fig16a(r *Run) ([]report.Table, error) {
+	e, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Figure 16a: threads vs throughput (amzn, mid-size configs)")
-	fmt.Fprintf(w, "%-10s %-8s %16s %16s\n", "index", "threads", "Mlookups/s", "Mlookups/s(fence)")
-	for _, family := range registry.Fig16Families {
+	t := report.New("fig16a", "Figure 16a: threads vs throughput (amzn, mid-size configs)").
+		Dims("index", "threads").
+		Float("Mlookups/s", "M/s", 2).
+		Float("Mlookups/s(fence)", "M/s", 2)
+	for _, family := range r.Families(registry.Fig16Families) {
 		idx := midVariant(e, family)
 		if idx == nil {
 			continue
@@ -632,11 +689,10 @@ func Fig16a(w io.Writer, o Options) error {
 		for _, threads := range MaxThreads() {
 			plain := MeasureThroughput(e, idx, search.BinarySearch, threads, false)
 			fenced := MeasureThroughput(e, idx, search.BinarySearch, threads, true)
-			fmt.Fprintf(w, "%-10s %-8d %16.2f %16.2f\n",
-				family, threads, plain/1e6, fenced/1e6)
+			t.Row([]string{family, strconv.Itoa(threads)}, plain/1e6, fenced/1e6)
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
 // midVariant picks the middle configuration of a family's sweep (the
@@ -654,56 +710,65 @@ func midVariant(e *Env, family string) core.Index {
 	return idx
 }
 
-// Fig16b prints size vs max-thread throughput.
-func Fig16b(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	e, err := o.env(dataset.Amzn)
+// fig16b reports size vs max-thread throughput.
+func fig16b(r *Run) ([]report.Table, error) {
+	e, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	threads := MaxThreads()
 	maxT := threads[len(threads)-1]
-	fmt.Fprintln(w, "Figure 16b: size vs throughput at max threads (amzn)")
-	fmt.Fprintf(w, "%-10s %-24s %12s %16s\n", "index", "config", "size(MB)", "Mlookups/s")
-	for _, family := range []string{"RMI", "PGM", "RS", "BTree", "ART"} {
+	t := report.New("fig16b", "Figure 16b: size vs throughput at max threads (amzn)").
+		Dims("index", "config").
+		Float("size(MB)", "MB", 4).
+		Float("Mlookups/s", "M/s", 2)
+	for _, family := range r.Families([]string{"RMI", "PGM", "RS", "BTree", "ART"}) {
 		for _, nb := range registry.Sweep(family, e.Keys) {
 			idx, err := nb.Builder.Build(e.Keys)
 			if err != nil {
 				continue
 			}
 			tp := MeasureThroughput(e, idx, search.BinarySearch, maxT, false)
-			fmt.Fprintf(w, "%-10s %-24s %12.4f %16.2f\n",
-				family, nb.Label, MB(idx.SizeBytes()), tp/1e6)
+			t.Row([]string{family, nb.Label}, MB(idx.SizeBytes()), tp/1e6)
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
-// Fig16c prints simulated cache misses per lookup per second: the
+// fig16c reports simulated cache misses per lookup per second: the
 // simulated misses-per-lookup of each structure divided by its
 // measured lookup time.
-func Fig16c(w io.Writer, o Options) error {
-	fmt.Fprintln(w, "Figure 16c: cache misses per lookup per second (simulated misses / measured ns)")
-	fmt.Fprintf(w, "%-10s %12s %12s %16s\n", "index", "c-miss/op", "ns/lookup", "miss/op/s (M)")
-	rows, err := CollectCountersMid(o, dataset.Amzn, registry.Fig16Families)
+func fig16c(r *Run) ([]report.Table, error) {
+	t := report.New("fig16c", "Figure 16c: cache misses per lookup per second (simulated misses / measured ns)").
+		Dims("index").
+		Float("c-miss/op", "misses/op", 2).
+		Float("ns/lookup", "ns", 1).
+		Float("miss/op/s (M)", "M/s", 1)
+	e, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	for _, r := range rows {
-		perSec := r.CacheMisses / (r.NsPerLookup * 1e-9) / 1e6
-		fmt.Fprintf(w, "%-10s %12.2f %12.1f %16.1f\n", r.Family, r.CacheMisses, r.NsPerLookup, perSec)
+	for _, cr := range countersMidFromEnv(e, r.Families(registry.Fig16Families)) {
+		perSec := cr.CacheMisses / (cr.NsPerLookup * 1e-9) / 1e6
+		t.Row([]string{cr.Family}, cr.CacheMisses, cr.NsPerLookup, perSec)
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
 // CollectCountersMid is CollectCounters restricted to each family's
 // middle configuration.
 func CollectCountersMid(o Options, name dataset.Name, families []string) ([]CounterRow, error) {
 	o = o.withDefaults()
-	e, err := o.env(name)
+	e, err := NewEnv(name, o.N, o.Lookups, o.Seed)
 	if err != nil {
 		return nil, err
 	}
+	return countersMidFromEnv(e, families), nil
+}
+
+// countersMidFromEnv is CollectCountersMid over an existing
+// (checksum-recorded) environment.
+func countersMidFromEnv(e *Env, families []string) []CounterRow {
 	var rows []CounterRow
 	for _, family := range families {
 		sweep := registry.Sweep(family, e.Keys)
@@ -730,26 +795,27 @@ func CollectCountersMid(o Options, name dataset.Name, families []string) ([]Coun
 		c := m.Counters()
 		nl := float64(len(e.Lookups))
 		rows = append(rows, CounterRow{
-			Dataset: name, Family: family, Label: nb.Label,
+			Dataset: e.Dataset, Family: family, Label: nb.Label,
 			SizeMB:      MB(idx.SizeBytes()),
 			NsPerLookup: meas.NsPerLookup,
 			CacheMisses: float64(c.CacheMisses) / nl,
 		})
 	}
-	return rows, nil
+	return rows
 }
 
-// Fig17 prints single-threaded build times at 1x..4x dataset scale
+// fig17 reports single-threaded build times at 1x..4x dataset scale
 // for the fastest-lookup variant of each structure (Figure 17).
-func Fig17(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	families := []string{"PGM", "RS", "RMI", "RBS", "ART", "BTree", "IBTree", "FAST", "FST", "Wormhole", "RobinHash"}
-	fmt.Fprintln(w, "Figure 17: build times (fastest lookup variants, amzn)")
-	fmt.Fprintf(w, "%-10s %-9s %12s\n", "index", "keys", "build(ms)")
+func fig17(r *Run) ([]report.Table, error) {
+	o := r.Options
+	families := r.Families([]string{"PGM", "RS", "RMI", "RBS", "ART", "BTree", "IBTree", "FAST", "FST", "Wormhole", "RobinHash"})
+	t := report.New("fig17", "Figure 17: build times (fastest lookup variants, amzn)").
+		Dims("index", "keys").
+		Float("build(ms)", "ms", 2)
 	for mult := 1; mult <= 4; mult++ {
-		e, err := NewEnv(dataset.Amzn, o.N*mult, o.Lookups, o.Seed)
+		e, err := r.EnvAt(dataset.Amzn, o.N*mult, o.Lookups)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, family := range families {
 			nb, idx, _ := BestVariant(e, family, func(e *Env, idx core.Index) float64 {
@@ -762,10 +828,10 @@ func Fig17(w io.Writer, o Options) error {
 			if err != nil {
 				continue
 			}
-			fmt.Fprintf(w, "%-10s %-9d %12.2f\n", family, o.N*mult, float64(dur.Microseconds())/1000)
+			t.Row([]string{family, strconv.Itoa(o.N * mult)}, float64(dur.Microseconds())/1000)
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }
 
 func mustBS(e *Env) core.Index {

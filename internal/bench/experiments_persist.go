@@ -11,7 +11,6 @@ package bench
 
 import (
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -19,8 +18,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/registry"
+	"repro/internal/report"
 	"repro/internal/serve"
 )
+
+func init() {
+	Register(Experiment{"persist", "cold build-from-scratch vs warm load-from-snapshot per family", persistSweep})
+}
 
 // PersistFamilies is the family set of the persist experiment: every
 // family with a registered snapshot codec, tuned RMI first (the
@@ -98,44 +102,48 @@ func dirSize(dir string) int64 {
 	return total
 }
 
-// PersistSweep prints the cold-vs-warm table: per family, time to a
+// persistSweep reports the cold-vs-warm table: per family, time to a
 // ready-to-serve store from raw keys (cold) vs from a snapshot (warm),
-// with snapshot cost and on-disk size.
-func PersistSweep(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	e, err := o.env(dataset.Amzn)
+// with snapshot cost and on-disk size. The load dimension records how
+// the warm path restored each index: "decode" for families with a
+// snapshot codec, "rebuild" for codec-less families rebuilt at load.
+func persistSweep(r *Run) ([]report.Table, error) {
+	e, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	const shards = 4
-	fmt.Fprintf(w, "Persistence: cold build vs warm snapshot load (amzn, n=%d, %d shards)\n", o.N, shards)
-	fmt.Fprintf(w, "%-8s %12s %12s %12s %10s %10s\n",
-		"index", "cold(ms)", "warm(ms)", "speedup", "snap(ms)", "disk(MB)")
-	for _, family := range PersistFamilies {
+	t := report.New("persist",
+		fmt.Sprintf("Persistence: cold build vs warm snapshot load (amzn, n=%d, %d shards)", r.Options.N, shards)).
+		Dims("index", "load").
+		Float("cold(ms)", "ms", 1).
+		Float("warm(ms)", "ms", 1).
+		Float("speedup", "x", 1).
+		Float("snap(ms)", "ms", 1).
+		Float("disk(MB)", "MB", 2)
+	for _, family := range r.Families(PersistFamilies) {
 		if !registry.Has(family) {
 			continue
 		}
 		dir, err := os.MkdirTemp("", "sosd-persist-*")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		res, err := MeasurePersist(e, family, shards, dir)
 		os.RemoveAll(dir)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		note := ""
+		loadKind := "decode"
 		if _, ok := registry.CodecFor(family); !ok {
-			note = "  (no codec: rebuilt at load)"
+			loadKind = "rebuild"
 		}
-		fmt.Fprintf(w, "%-8s %12.1f %12.1f %11.1fx %10.1f %10.2f%s\n",
-			family,
+		t.Row([]string{family, loadKind},
 			float64(res.Cold.Microseconds())/1000,
 			float64(res.Warm.Microseconds())/1000,
 			res.Speedup,
 			float64(res.SnapshotT.Microseconds())/1000,
-			float64(res.DiskBytes)/(1<<20),
-			note)
+			float64(res.DiskBytes)/(1<<20))
 	}
-	return nil
+	return []report.Table{*t}, nil
 }

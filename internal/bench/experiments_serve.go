@@ -8,15 +8,20 @@ package bench
 
 import (
 	"fmt"
-	"io"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/registry"
+	"repro/internal/report"
 	"repro/internal/search"
 	"repro/internal/serve"
 )
+
+func init() {
+	Register(Experiment{"serve", "serving layer: batched table lookups + sharded store sweep", serveSweep})
+}
 
 // ServeBatchSize is the default lookup batch size of the serving
 // experiments: large enough to amortize the per-batch passes, small
@@ -63,19 +68,22 @@ func MeasureServeThroughput(e *Env, st *serve.Store, clients, batch int) float64
 	return float64(clients*len(e.Lookups)) / elapsed
 }
 
-// ServeSweep prints the serving-layer experiment: per-key vs batched
+// serveSweep reports the serving-layer experiment: per-key vs batched
 // table lookups per family, then sharded-store throughput across shard
 // counts and client counts.
-func ServeSweep(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	e, err := o.env(dataset.Amzn)
+func serveSweep(r *Run) ([]report.Table, error) {
+	e, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	families := r.Families(registry.ServeFamilies)
 
-	fmt.Fprintln(w, "Serving layer: Table batched lookups (amzn, mid-sweep configs)")
-	fmt.Fprintf(w, "%-8s %12s %12s %9s\n", "index", "per-key(ns)", "batched(ns)", "speedup")
-	for _, family := range registry.ServeFamilies {
+	batchedT := report.New("serve", "Serving layer: Table batched lookups (amzn, mid-sweep configs)").
+		Dims("index").
+		Float("per-key(ns)", "ns", 1).
+		Float("batched(ns)", "ns", 1).
+		Float("speedup", "x", 2)
+	for _, family := range families {
 		nb, ok := registry.Builder(family, e.Keys)
 		if !ok {
 			continue
@@ -88,29 +96,29 @@ func ServeSweep(w io.Writer, o Options) error {
 		perKey := MeasureWarm(e, idx, search.BinarySearch)
 		batched := MeasureWarmBatch(e, t, ServeBatchSize)
 		if batched.Checksum != perKey.Checksum {
-			return fmt.Errorf("serve: %s batched checksum mismatch", family)
+			return nil, fmt.Errorf("serve: %s batched checksum mismatch", family)
 		}
-		fmt.Fprintf(w, "%-8s %12.1f %12.1f %8.2fx\n",
-			family, perKey.NsPerLookup, batched.NsPerLookup,
-			perKey.NsPerLookup/batched.NsPerLookup)
+		batchedT.Row([]string{family},
+			perKey.NsPerLookup, batched.NsPerLookup, perKey.NsPerLookup/batched.NsPerLookup)
 	}
 
-	fmt.Fprintln(w, "\nSharded store: concurrent GetBatch throughput (amzn)")
-	fmt.Fprintf(w, "%-8s %-7s %-8s %16s\n", "index", "shards", "clients", "Mlookups/s")
-	for _, family := range registry.ServeFamilies {
+	shardedT := report.New("serve", "Sharded store: concurrent GetBatch throughput (amzn)").
+		Dims("index", "shards", "clients").
+		Float("Mlookups/s", "M/s", 2)
+	for _, family := range families {
 		for _, shards := range []int{1, 4, 8} {
 			st, err := serve.New(e.Keys, e.Payloads, serve.Config{
 				Shards: shards, Family: family,
 			})
 			if err != nil {
-				return err
+				return nil, err
 			}
 			for _, clients := range []int{1, 4, 8} {
 				tp := MeasureServeThroughput(e, st, clients, ServeBatchSize)
-				fmt.Fprintf(w, "%-8s %-7d %-8d %16.2f\n", family, st.NumShards(), clients, tp/1e6)
+				shardedT.Row([]string{family, strconv.Itoa(st.NumShards()), strconv.Itoa(clients)}, tp/1e6)
 			}
 			st.Close()
 		}
 	}
-	return nil
+	return []report.Table{*batchedT, *shardedT}, nil
 }

@@ -13,14 +13,18 @@ package bench
 
 import (
 	"fmt"
-	"io"
 	"runtime"
 
 	"repro/internal/dataset"
 	"repro/internal/load"
 	"repro/internal/registry"
+	"repro/internal/report"
 	"repro/internal/serve"
 )
+
+func init() {
+	Register(Experiment{"serve-tail", "tail latency: closed vs open-loop (Poisson) load, p50..p99.9 per arrival rate", serveTailSweep})
+}
 
 // TailWorkloads lists the YCSB-style mixes of the tail experiment:
 // A (50/50), B (95/5), and C (read-only), all zipfian.
@@ -66,29 +70,26 @@ func MeasureTail(e *Env, st *serve.Store, wl MixedWorkload, ops int, cfg load.Co
 	return load.RunClosed(st, stream, cfg)
 }
 
-// tailRow prints one result line of the sweep.
-func tailRow(w io.Writer, family, wlName, loop string, offered float64, res *load.Result) {
+// tailRow appends one result line of the sweep. offered is 0 for the
+// closed loop (no fixed arrival schedule).
+func tailRow(t *report.Table, family, wlName, loop string, offered float64, res *load.Result) {
 	s := res.Hist.Summary()
-	off := "-"
-	if offered > 0 {
-		off = fmt.Sprintf("%.0f", offered/1e3)
-	}
-	fmt.Fprintf(w, "%-8s %-3s %-7s %9s %10.1f %9.1f %9.1f %9.1f %9.1f %9.1f\n",
-		family, wlName, loop, off, res.Throughput/1e3,
+	t.Row([]string{family, wlName, loop},
+		offered/1e3, res.Throughput/1e3,
 		float64(s.P50)/1e3, float64(s.P90)/1e3, float64(s.P99)/1e3,
 		float64(s.P999)/1e3, float64(s.Max)/1e3)
 }
 
-// ServeTailSweep prints the tail-latency experiment: per index family
+// serveTailSweep reports the tail-latency experiment: per index family
 // and YCSB-style workload, a closed-loop saturation run (capacity and
 // latency under full load) followed by open-loop runs at fractions of
 // that capacity — the throughput-vs-p99 curve. Each run gets a fresh
 // store so earlier writes and compactions cannot leak into later rows.
-func ServeTailSweep(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	e, err := o.env(dataset.Amzn)
+func serveTailSweep(r *Run) ([]report.Table, error) {
+	o := r.Options
+	e, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ops := o.Lookups
 	const shards = 4
@@ -98,12 +99,20 @@ func ServeTailSweep(w io.Writer, o Options) error {
 	}
 	workers := TailWorkers()
 
-	fmt.Fprintf(w, "Tail latency (amzn, mid-sweep configs, %d shards, %d workers, %d ops/run, compact threshold %d)\n",
-		shards, workers, ops, threshold)
-	fmt.Fprintln(w, "open-loop latency is measured from each operation's scheduled Poisson arrival (coordinated-omission-free); latencies in µs")
-	fmt.Fprintf(w, "%-8s %-3s %-7s %9s %10s %9s %9s %9s %9s %9s\n",
-		"index", "wl", "loop", "rate(k/s)", "kops/s", "p50", "p90", "p99", "p99.9", "max")
-	for _, family := range registry.WriteFamilies {
+	t := report.New("serve-tail",
+		fmt.Sprintf("Tail latency (amzn, mid-sweep configs, %d shards, %d workers, %d ops/run, compact threshold %d)",
+			shards, workers, ops, threshold)).
+		Dims("index", "wl", "loop").
+		Float("rate(k/s)", "kops/s", 1).
+		Float("kops/s", "kops/s", 1).
+		Float("p50", "µs", 1).
+		Float("p90", "µs", 1).
+		Float("p99", "µs", 1).
+		Float("p99.9", "µs", 1).
+		Float("max", "µs", 1).
+		Notef("open-loop latency is measured from each operation's scheduled Poisson arrival (coordinated-omission-free); latencies in µs").
+		Notef("rate(k/s) is the offered open-loop arrival rate; 0 for the closed loop (saturation)")
+	for _, family := range r.Families(registry.WriteFamilies) {
 		for _, wl := range TailWorkloads() {
 			newStore := func() (*serve.Store, error) {
 				return serve.New(e.Keys, e.Payloads, serve.Config{
@@ -113,11 +122,11 @@ func ServeTailSweep(w io.Writer, o Options) error {
 
 			st, err := newStore()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			closed := MeasureTail(e, st, wl, ops, load.Config{Workers: workers, Seed: o.Seed})
 			st.Close()
-			tailRow(w, family, wl.Name, "closed", 0, closed)
+			tailRow(t, family, wl.Name, "closed", 0, closed)
 
 			for _, frac := range TailRateFractions {
 				rate := frac * closed.Throughput
@@ -126,15 +135,15 @@ func ServeTailSweep(w io.Writer, o Options) error {
 				}
 				st, err := newStore()
 				if err != nil {
-					return err
+					return nil, err
 				}
 				open := MeasureTail(e, st, wl, ops, load.Config{
 					Workers: workers, Rate: rate, Seed: o.Seed,
 				})
 				st.Close()
-				tailRow(w, family, wl.Name, fmt.Sprintf("open%.0f%%", frac*100), rate, open)
+				tailRow(t, family, wl.Name, fmt.Sprintf("open%.0f%%", frac*100), rate, open)
 			}
 		}
 	}
-	return nil
+	return []report.Table{*t}, nil
 }

@@ -5,21 +5,47 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/report"
 	"repro/internal/search"
 )
 
-// Every experiment must run end-to-end at tiny scale and emit its
-// table header plus at least a handful of data rows. These are the
-// integration tests for the full figure pipeline; numeric shapes are
-// asserted in EXPERIMENTS.md from full-scale runs.
+// Every experiment must run end-to-end at tiny scale through the
+// catalog, and its rendered text must contain its table headers plus a
+// handful of data rows. These are the integration tests for the full
+// figure pipeline; numeric shapes are asserted in EXPERIMENTS.md from
+// full-scale runs.
 
-func runExperiment(t *testing.T, name string, fn func() error, buf *bytes.Buffer, wantMarkers ...string) {
+// renderCatalog runs a catalog experiment and renders its tables
+// through the text sink.
+func renderCatalog(t *testing.T, name string, o Options) string {
 	t.Helper()
-	buf.Reset()
-	if err := fn(); err != nil {
+	exp, ok := Find(name)
+	if !ok {
+		t.Fatalf("experiment %q not in catalog", name)
+	}
+	tables, err := exp.Run(NewRun(o))
+	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
-	out := buf.String()
+	var buf bytes.Buffer
+	sink := report.NewText(&buf)
+	for i := range tables {
+		if tables[i].Experiment != name {
+			t.Errorf("%s returned a table labelled %q", name, tables[i].Experiment)
+		}
+		if err := sink.Table(&tables[i]); err != nil {
+			t.Fatalf("%s: render: %v", name, err)
+		}
+	}
+	if err := sink.Close(report.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func runExperiment(t *testing.T, name string, wantMarkers ...string) {
+	t.Helper()
+	out := renderCatalog(t, name, tiny)
 	for _, marker := range wantMarkers {
 		if !strings.Contains(out, marker) {
 			t.Errorf("%s output missing %q:\n%s", name, marker, clip(out))
@@ -38,75 +64,52 @@ func clip(s string) string {
 }
 
 func TestFig7EndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig7", func() error { return Fig7(&buf, tiny) }, &buf,
+	runExperiment(t, "fig7",
 		"Figure 7", "amzn", "osm", "wiki", "face", "RMI", "FAST", "baseline")
 }
 
 func TestFig8EndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig8", func() error { return Fig8(&buf, tiny) }, &buf,
-		"Figure 8", "FST", "Wormhole")
+	runExperiment(t, "fig8", "Figure 8", "FST", "Wormhole")
 }
 
 func TestFig9EndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig9", func() error { return Fig9(&buf, tiny) }, &buf,
-		"Figure 9", "16000") // 4x of tiny.N
+	runExperiment(t, "fig9", "Figure 9", "16000") // 4x of tiny.N
 }
 
 func TestFig10EndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig10", func() error { return Fig10(&buf, tiny) }, &buf,
-		"Figure 10", "BTree32", "FAST32", "32", "64")
+	runExperiment(t, "fig10", "Figure 10", "BTree32", "FAST32", "32", "64")
 }
 
 func TestFig11EndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig11", func() error { return Fig11(&buf, tiny) }, &buf,
-		"Figure 11", "binary", "linear", "interpolation")
+	runExperiment(t, "fig11", "Figure 11", "binary", "linear", "interpolation")
 }
 
 func TestFig12EndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig12", func() error { return Fig12(&buf, tiny) }, &buf,
-		"Figure 12", "c-miss", "instr")
+	runExperiment(t, "fig12", "Figure 12", "c-miss", "instr")
 }
 
 func TestFig14EndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig14", func() error { return Fig14(&buf, tiny) }, &buf,
-		"Figure 14", "warm", "cold")
+	runExperiment(t, "fig14", "Figure 14", "warm", "cold")
 }
 
 func TestFig15EndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig15", func() error { return Fig15(&buf, tiny) }, &buf,
-		"Figure 15", "fence")
+	runExperiment(t, "fig15", "Figure 15", "fence")
 }
 
 func TestFig16aEndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig16a", func() error { return Fig16a(&buf, tiny) }, &buf,
-		"Figure 16a", "Mlookups/s")
+	runExperiment(t, "fig16a", "Figure 16a", "Mlookups/s")
 }
 
 func TestFig16bEndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig16b", func() error { return Fig16b(&buf, tiny) }, &buf,
-		"Figure 16b", "RMI")
+	runExperiment(t, "fig16b", "Figure 16b", "RMI")
 }
 
 func TestFig16cEndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig16c", func() error { return Fig16c(&buf, tiny) }, &buf,
-		"Figure 16c", "miss/op")
+	runExperiment(t, "fig16c", "Figure 16c", "miss/op")
 }
 
 func TestFig17EndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "fig17", func() error { return Fig17(&buf, tiny) }, &buf,
-		"Figure 17", "build(ms)", "Wormhole")
+	runExperiment(t, "fig17", "Figure 17", "build(ms)", "Wormhole")
 }
 
 func TestFig14ColdSlowerThanWarm(t *testing.T) {
@@ -126,14 +129,111 @@ func TestFig14ColdSlowerThanWarm(t *testing.T) {
 }
 
 func TestServeTailSweepEndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "serve-tail", func() error { return ServeTailSweep(&buf, tiny) }, &buf,
+	runExperiment(t, "serve-tail",
 		"Tail latency", "scheduled Poisson arrival", "p99.9", "closed", "open25%", "open80%",
 		"RMI", "PGM", "BTree")
 }
 
 func TestServeWriteSweepEndToEnd(t *testing.T) {
-	var buf bytes.Buffer
-	runExperiment(t, "serve-write", func() error { return ServeWriteSweep(&buf, tiny) }, &buf,
+	runExperiment(t, "serve-write",
 		"Mixed read/write", "threshold sweep", "RMI", "PGM", "BTree", "zipf", "unif")
+}
+
+// TestFamilyDatasetFilters exercises the -families/-datasets options
+// on a sweep experiment: only the requested rows may appear.
+func TestFamilyDatasetFilters(t *testing.T) {
+	o := tiny
+	o.Families = []string{"RMI"}
+	o.Datasets = []string{"osm"}
+	exp, _ := Find("fig7")
+	tables, err := exp.Run(NewRun(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatalf("filtered fig7 returned no rows")
+	}
+	for _, row := range tables[0].Rows {
+		if row.Dims[0] != "osm" || row.Dims[1] != "RMI" {
+			t.Errorf("filter leaked row %v", row.Dims)
+		}
+	}
+}
+
+// TestRoundTripRepresentative runs three representative experiments at
+// smoke scale, writes them through the JSON sink, and unmarshals back:
+// dims and metrics must survive byte-for-byte.
+func TestRoundTripRepresentative(t *testing.T) {
+	for _, name := range []string{"table1", "fig13", "serve"} {
+		exp, ok := Find(name)
+		if !ok {
+			t.Fatalf("experiment %q not in catalog", name)
+		}
+		run := NewRun(tiny)
+		tables, err := exp.Run(run)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		sink := report.NewJSON(&buf)
+		for i := range tables {
+			if err := sink.Table(&tables[i]); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		meta := report.NewMeta("bench-test")
+		meta.Datasets = run.DatasetChecksums()
+		if err := sink.Close(meta); err != nil {
+			t.Fatal(err)
+		}
+		doc, err := report.DecodeDocument(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if len(doc.Tables) != len(tables) {
+			t.Fatalf("%s: %d tables decoded, want %d", name, len(doc.Tables), len(tables))
+		}
+		for i := range tables {
+			got, want := doc.Tables[i], tables[i]
+			if got.Experiment != want.Experiment || got.Title != want.Title {
+				t.Errorf("%s: table %d header mismatch", name, i)
+			}
+			if len(got.Rows) != len(want.Rows) {
+				t.Fatalf("%s: table %d has %d rows, want %d", name, i, len(got.Rows), len(want.Rows))
+			}
+			for j := range want.Rows {
+				if !equalStrings(got.Rows[j].Dims, want.Rows[j].Dims) ||
+					!equalFloats(got.Rows[j].Metrics, want.Rows[j].Metrics) {
+					t.Errorf("%s: table %d row %d did not round-trip", name, i, j)
+				}
+			}
+		}
+		if name != "table1" && len(doc.Meta.Datasets) == 0 {
+			t.Errorf("%s: run recorded no dataset checksums", name)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

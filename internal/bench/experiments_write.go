@@ -10,14 +10,19 @@ package bench
 
 import (
 	"fmt"
-	"io"
+	"strconv"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/load"
 	"repro/internal/registry"
+	"repro/internal/report"
 	"repro/internal/serve"
 )
+
+func init() {
+	Register(Experiment{"serve-write", "mixed read/write workloads over the mutable store", serveWriteSweep})
+}
 
 // YCSBTheta is the zipfian skew parameter of the YCSB core generator.
 const YCSBTheta = 0.99
@@ -118,15 +123,15 @@ func writeDist(wl MixedWorkload) string {
 	return "unif"
 }
 
-// ServeWriteSweep prints the mixed read/write experiment: YCSB-style
+// serveWriteSweep reports the mixed read/write experiment: YCSB-style
 // workloads per index family over the mutable sharded store, then a
 // compaction-threshold sweep exposing the rebuild-cost-vs-staleness
 // tradeoff.
-func ServeWriteSweep(w io.Writer, o Options) error {
-	o = o.withDefaults()
-	e, err := o.env(dataset.Amzn)
+func serveWriteSweep(r *Run) ([]report.Table, error) {
+	o := r.Options
+	e, err := r.Env(dataset.Amzn)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ops := o.Lookups
 	const shards = 4
@@ -136,33 +141,45 @@ func ServeWriteSweep(w io.Writer, o Options) error {
 	if threshold < 64 {
 		threshold = 64
 	}
+	families := r.Families(registry.WriteFamilies)
 
-	fmt.Fprintf(w, "Mixed read/write workloads (amzn, mid-sweep configs, %d shards, compact threshold %d)\n",
-		shards, threshold)
-	fmt.Fprintf(w, "%-8s %-3s %-5s %6s %10s %9s %10s %8s %9s %7s\n",
-		"index", "wl", "dist", "read%", "kops/s", "read(ns)", "write(ns)", "compact", "cmp(ms)", "delta")
-	for _, family := range registry.WriteFamilies {
+	mixed := report.New("serve-write",
+		fmt.Sprintf("Mixed read/write workloads (amzn, mid-sweep configs, %d shards, compact threshold %d)",
+			shards, threshold)).
+		Dims("index", "wl", "dist").
+		Float("read%", "%", 0).
+		Float("kops/s", "kops/s", 1).
+		Float("read(ns)", "ns", 1).
+		Float("write(ns)", "ns", 1).
+		Int("compact", "compactions").
+		Float("cmp(ms)", "ms", 2).
+		Int("delta", "entries")
+	for _, family := range families {
 		for _, wl := range MixedWorkloads() {
 			st, err := serve.New(e.Keys, e.Payloads, serve.Config{
 				Shards: shards, Family: family, CompactThreshold: threshold,
 			})
 			if err != nil {
-				return err
+				return nil, err
 			}
 			res := MeasureMixed(e, st, ops, wl, o.Seed)
-			fmt.Fprintf(w, "%-8s %-3s %-5s %6.0f %10.1f %9.1f %10.1f %8d %9.2f %7d\n",
-				family, wl.Name, writeDist(wl), wl.ReadFrac*100,
-				res.OpsPerSec/1e3, res.ReadNs, res.WriteNs,
-				res.Compactions, float64(res.CompactTime.Nanoseconds())/1e6, res.DeltaLen)
+			mixed.Row([]string{family, wl.Name, writeDist(wl)},
+				wl.ReadFrac*100, res.OpsPerSec/1e3, res.ReadNs, res.WriteNs,
+				float64(res.Compactions), float64(res.CompactTime.Nanoseconds())/1e6,
+				float64(res.DeltaLen))
 			st.Close()
 		}
 	}
 
-	fmt.Fprintln(w, "\nCompaction threshold sweep (workload A, zipfian): rebuild cost vs staleness")
-	fmt.Fprintf(w, "%-8s %9s %10s %8s %9s %9s\n",
-		"index", "thresh", "kops/s", "compact", "cmp(ms)", "delta")
+	sweep := report.New("serve-write",
+		"Compaction threshold sweep (workload A, zipfian): rebuild cost vs staleness").
+		Dims("index", "thresh").
+		Float("kops/s", "kops/s", 1).
+		Int("compact", "compactions").
+		Float("cmp(ms)", "ms", 2).
+		Int("delta", "entries")
 	wlA := MixedWorkload{Name: "A", ReadFrac: 0.5, Zipfian: true}
-	for _, family := range registry.WriteFamilies {
+	for _, family := range families {
 		for _, th := range []int{threshold / 4, threshold, threshold * 4} {
 			if th < 16 {
 				th = 16
@@ -171,14 +188,14 @@ func ServeWriteSweep(w io.Writer, o Options) error {
 				Shards: shards, Family: family, CompactThreshold: th,
 			})
 			if err != nil {
-				return err
+				return nil, err
 			}
 			res := MeasureMixed(e, st, ops, wlA, o.Seed)
-			fmt.Fprintf(w, "%-8s %9d %10.1f %8d %9.2f %9d\n",
-				family, th, res.OpsPerSec/1e3,
-				res.Compactions, float64(res.CompactTime.Nanoseconds())/1e6, res.DeltaLen)
+			sweep.Row([]string{family, strconv.Itoa(th)},
+				res.OpsPerSec/1e3, float64(res.Compactions),
+				float64(res.CompactTime.Nanoseconds())/1e6, float64(res.DeltaLen))
 			st.Close()
 		}
 	}
-	return nil
+	return []report.Table{*mixed, *sweep}, nil
 }
