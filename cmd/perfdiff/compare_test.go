@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// doc builds a JSON document with the serve experiment's shape: one
+// latency metric (lower better), one throughput metric (higher
+// better), and one neutral statistical metric that must never gate.
+func doc(t *testing.T, batchedNS, mps, beta float64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := report.NewJSON(&buf)
+	tbl := report.New("serve", "Serving layer: Table batched lookups").
+		Dims("family", "n").
+		Float("batched(ns)", "ns", 1).
+		Float("Mlookups/s", "M/s", 2).
+		Float("std", "beta", 3).
+		Row([]string{"RMI", "1000000"}, batchedNS, mps, beta)
+	if err := sink.Table(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(report.NewMeta("test")); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIdenticalDocumentsPass is the steady-state contract: a run
+// compared against itself never trips the gate.
+func TestIdenticalDocumentsPass(t *testing.T) {
+	d := doc(t, 100, 10, 0.5)
+	res, err := Compare(d, d, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("identical documents regressed: %+v", res.Regressions)
+	}
+	if len(res.Deltas) != 2 {
+		t.Fatalf("expected 2 gated metrics (ns + M/s, beta neutral), got %d", len(res.Deltas))
+	}
+}
+
+// TestInjectedRegressionFails proves the gate actually fires: a 2x
+// latency injection and a halved throughput must both regress at the
+// default threshold, while the neutral metric stays silent however
+// far it drifts.
+func TestInjectedRegressionFails(t *testing.T) {
+	base := doc(t, 100, 10, 0.5)
+	bad := doc(t, 200, 5, 99) // latency doubled, throughput halved, beta wild
+	res, err := Compare(base, bad, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 2 {
+		t.Fatalf("expected 2 regressions, got %d: %+v", len(res.Regressions), res.Regressions)
+	}
+	// Worst first: latency +100% ahead of throughput +100%? Both are
+	// +100% in regression direction; just check both keys are present.
+	var keys []string
+	for _, d := range res.Regressions {
+		keys = append(keys, d.Key)
+	}
+	joined := strings.Join(keys, "\n")
+	if !strings.Contains(joined, "batched(ns)") || !strings.Contains(joined, "Mlookups/s") {
+		t.Fatalf("unexpected regression keys: %v", keys)
+	}
+}
+
+// TestImprovementAndJitterPass covers the direction logic: faster
+// latency and higher throughput are improvements, and drift inside the
+// threshold is jitter, not regression.
+func TestImprovementAndJitterPass(t *testing.T) {
+	base := doc(t, 100, 10, 0.5)
+	better := doc(t, 50, 20, 0.5)
+	res, err := Compare(base, better, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", res.Regressions)
+	}
+	jitter := doc(t, 130, 8, 0.5) // +30% latency, -20% throughput: inside 40%
+	res, err = Compare(base, jitter, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("within-threshold jitter flagged: %+v", res.Regressions)
+	}
+	// But the same drift trips a tighter gate.
+	res, err = Compare(base, jitter, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 {
+		t.Fatalf("expected the 30%% latency drift to trip a 25%% gate: %+v", res.Regressions)
+	}
+}
+
+// TestMissingRowsWarnNotFail: catalog drift (rows on one side only)
+// is reported but never fatal.
+func TestMissingRowsWarnNotFail(t *testing.T) {
+	base := doc(t, 100, 10, 0.5)
+	var buf bytes.Buffer
+	sink := report.NewJSON(&buf)
+	tbl := report.New("serve", "Serving layer: Table batched lookups").
+		Dims("family", "n").
+		Float("batched(ns)", "ns", 1).
+		Row([]string{"PGM", "1000000"}, 80) // different dims, different metric set
+	if err := sink.Table(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(report.NewMeta("test")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compare(base, buf.Bytes(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 || len(res.Deltas) != 0 {
+		t.Fatalf("disjoint documents must not gate: %+v", res)
+	}
+	if len(res.OnlyBaseline) != 2 || len(res.OnlyCurrent) != 1 {
+		t.Fatalf("expected 2 baseline-only and 1 current-only, got %d/%d",
+			len(res.OnlyBaseline), len(res.OnlyCurrent))
+	}
+}
+
+// TestZeroBaselineSkipped: a zero baseline value has no meaningful
+// ratio and must be skipped rather than divide by zero.
+func TestZeroBaselineSkipped(t *testing.T) {
+	base := doc(t, 0, 10, 0.5)
+	cur := doc(t, 100, 10, 0.5)
+	res, err := Compare(base, cur, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Deltas {
+		if strings.Contains(d.Key, "batched(ns)") {
+			t.Fatalf("zero-baseline metric was gated: %+v", d)
+		}
+	}
+}
+
+// TestUnitDirections pins the classification of every unit the
+// experiment catalog currently emits.
+func TestUnitDirections(t *testing.T) {
+	lower := []string{"ns", "us", "µs", "ms", "s", "B", "MB", "misses/op", "instr/op"}
+	higher := []string{"x", "M/s", "k/s", "kops/s", "ops/s"}
+	neutralU := []string{"", "beta", "log2", "norm", "frac", "%", "entries", "compactions", "no-such-unit"}
+	for _, u := range lower {
+		if unitDirection(u) != lowerBetter {
+			t.Errorf("unit %q: want lowerBetter", u)
+		}
+	}
+	for _, u := range higher {
+		if unitDirection(u) != higherBetter {
+			t.Errorf("unit %q: want higherBetter", u)
+		}
+	}
+	for _, u := range neutralU {
+		if unitDirection(u) != neutral {
+			t.Errorf("unit %q: want neutral", u)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command perfdiff is the CI perf regression gate: it compares a fresh
+// `sosd -format json` run against a checked-in baseline document and
+// fails (exit 1) when any watched metric regresses by more than the
+// threshold.
+//
+// Rows are matched by (experiment, title, dimension values) and metrics
+// by column name; the metric's declared unit decides which direction is
+// a regression (ns/ms/µs/MB up is bad, M/s / kops/s / speedup down is
+// bad). Metrics whose units carry no better/worse direction (model
+// coefficients, CDF fractions, counts) are ignored, so the gate watches
+// exactly the performance surface and nothing else. Rows present on
+// only one side are reported but never fail the gate: the baseline is
+// pinned to a machine and a knob set, and a changed experiment catalog
+// should not masquerade as a perf regression.
+//
+// Usage:
+//
+//	perfdiff [-baseline BENCH_baseline.json] [-threshold 40] current.json
+//	perfdiff -update current.json    # bless current as the new baseline
+//
+// The threshold is deliberately generous (default 40%): CI machines are
+// noisy and shared, and the gate exists to catch order-of-magnitude
+// mistakes — an accidental O(n) scan in the probe loop, a lost
+// fast path — not 5% jitter. Tighten it on quiet dedicated hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline document to compare against")
+	threshold := flag.Float64("threshold", 40, "regression threshold in percent")
+	update := flag.Bool("update", false, "replace the baseline with the current document and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: perfdiff [-baseline file] [-threshold pct] [-update] <current.json | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	current, err := readAll(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(*baselinePath, current, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "perfdiff: baseline %s updated\n", *baselinePath)
+		return
+	}
+
+	baseline, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run `perfdiff -update` to create it)", err))
+	}
+	result, err := Compare(baseline, current, *threshold)
+	if err != nil {
+		fatal(err)
+	}
+	result.Print(os.Stdout)
+	if len(result.Regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "perfdiff: %d metric(s) regressed beyond %.0f%%\n", len(result.Regressions), *threshold)
+		os.Exit(1)
+	}
+}
+
+// readAll reads a file argument, with "-" meaning stdin.
+func readAll(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "perfdiff: %v\n", err)
+	os.Exit(1)
+}

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	sosd [-n keys] [-lookups m] [-seed s] [-format text|csv|json|jsonl]
-//	     [-o file] [-families f1,f2] [-datasets d1,d2] <experiment> [...]
+//	     [-o file] [-families f1,f2] [-datasets d1,d2]
+//	     [-cpuprofile file] [-memprofile file] <experiment> [...]
 //
 // Experiments: table1 fig6 fig7 fig8 table2 fig9 fig10 fig11 fig12
 // regress fig13 fig14 fig15 fig16a fig16b fig16c fig17 persist serve
@@ -26,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,6 +47,8 @@ func main() {
 	familiesFlag := flag.String("families", "", "comma-separated index families to restrict sweeps to")
 	datasetsFlag := flag.String("datasets", "", "comma-separated datasets to restrict sweeps to")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -91,6 +96,20 @@ func main() {
 		fatal(err)
 	}
 
+	// Profiles cover the experiment loop only — build, flag parsing, and
+	// sink setup are excluded so `go tool pprof` shows the hot path.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	run := bench.NewRun(o)
 	for _, exp := range exps {
 		start := time.Now()
@@ -119,6 +138,22 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s results to %s\n", *format, *out)
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // settle live heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", *memprofile)
 	}
 }
 
@@ -188,7 +223,7 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: sosd [-n keys] [-lookups m] [-seed s] [-format text|csv|json|jsonl] [-o file] [-families f1,f2] [-datasets d1,d2] <experiment>...\n\n")
+	fmt.Fprintf(os.Stderr, "usage: sosd [-n keys] [-lookups m] [-seed s] [-format text|csv|json|jsonl] [-o file] [-families f1,f2] [-datasets d1,d2] [-cpuprofile file] [-memprofile file] <experiment>...\n\n")
 	listExperiments(os.Stderr)
 }
 

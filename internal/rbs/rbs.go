@@ -95,11 +95,16 @@ func (idx *Index) Lookup(key core.Key) core.Bound {
 
 // LookupBatch implements core.BatchIndex. RBS bounds are two adjacent
 // table loads per key; the batched loop issues them back to back with
-// the shift and clamp constants held in registers, which lets the
-// out-of-order core overlap the (random) table misses across keys.
+// the shift and clamp constants held in registers and every clamp in
+// conditional-move shape, which lets the out-of-order core overlap the
+// (random) table misses across keys with no mispredict flushes in
+// between. The table slice and output window are hoisted so the loop
+// body carries no per-iteration bounds checks on the output store.
 func (idx *Index) LookupBatch(keys []core.Key, out []core.Bound) {
 	minKey, shift, n := idx.minKey, idx.shift, idx.n
 	max := uint64(1)<<idx.radixBits - 1
+	table := idx.table
+	out = out[:len(keys)]
 	for i, x := range keys {
 		var p uint64
 		if x > minKey {
@@ -108,8 +113,8 @@ func (idx *Index) LookupBatch(keys []core.Key, out []core.Bound) {
 				p = max
 			}
 		}
-		lo := int(idx.table[p])
-		hi := int(idx.table[p+1]) + 1
+		lo := int(table[p])
+		hi := int(table[p+1]) + 1
 		if hi > n {
 			hi = n
 		}

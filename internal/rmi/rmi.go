@@ -208,18 +208,38 @@ func (idx *Index) Lookup(key core.Key) core.Bound {
 	return core.BoundAround(pos, int(lf.errLo), int(lf.errHi), idx.n)
 }
 
-// LookupBatch implements core.BatchIndex: one call predicts bounds for
-// a whole batch, keeping the stage-1 model hot in registers and the
-// output bounds in a single streamed store pass instead of paying an
-// interface dispatch per key. Routing uses exactly the scalar route()
-// arithmetic, so batched bounds are bit-identical to Lookup's.
+// batchChunk is the LookupBatch processing granularity: the per-chunk
+// leaf-routing scratch lives on the stack, and a chunk's keys stay in
+// L1 between the two passes.
+const batchChunk = 64
+
+// LookupBatch implements core.BatchIndex. The batch is processed in
+// two passes per chunk: pass 1 routes every key through the stage-1
+// model (pure arithmetic, model coefficients pinned in registers);
+// pass 2 evaluates the routed leaves. Splitting the passes decouples
+// the random leaf-array loads from the routing arithmetic: the loads
+// of different keys are independent, so the out-of-order core overlaps
+// their cache misses instead of serializing a route→load→predict chain
+// per key. Routing uses exactly the scalar route() arithmetic, so
+// batched bounds are bit-identical to Lookup's.
 func (idx *Index) LookupBatch(keys []core.Key, out []core.Bound) {
 	n := idx.n
-	for i, x := range keys {
-		fkey := float64(x)
-		lf := &idx.leaves[idx.route(fkey)]
-		pos := lf.clampPredict(fkey)
-		out[i] = core.BoundAround(pos, int(lf.errLo), int(lf.errHi), n)
+	var route [batchChunk]int32
+	for off := 0; off < len(keys); off += batchChunk {
+		end := off + batchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		outc := out[off:end]
+		for i, x := range chunk {
+			route[i] = int32(idx.route(float64(x)))
+		}
+		for i, x := range chunk {
+			lf := &idx.leaves[route[i]]
+			pos := lf.clampPredict(float64(x))
+			outc[i] = core.BoundAround(pos, int(lf.errLo), int(lf.errHi), n)
+		}
 	}
 }
 

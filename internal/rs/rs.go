@@ -212,6 +212,77 @@ func (idx *Index) interpolate(seg int, x core.Key) int {
 	return int(math.Round(p))
 }
 
+// pointSearch returns the predecessor spline point for x in
+// points[lo:hi]: one below the first point whose Key exceeds x
+// (clamped at 0). A power-of-two reduction step followed by a halving
+// ladder. The comparisons stay branches on purpose: a lone lookup's
+// spline-point loads can miss cache, and branch speculation runs those
+// misses ahead — a mask/CMOV form chains them serially (measured
+// slower per scalar lookup). The batch path uses pointSearchBL, where
+// independent neighbours provide the overlap.
+func pointSearch(points []Point, x core.Key, lo, hi int) int {
+	width := hi - lo
+	if width > 0 {
+		w := 1 << (bits.Len(uint(width)) - 1)
+		if w != width {
+			if points[lo+width-w].Key <= x {
+				lo += width - w
+			}
+		}
+		for w > 1 {
+			half := w >> 1
+			if points[lo+half-1].Key <= x {
+				lo += half
+			}
+			w = half
+		}
+		if points[lo].Key <= x {
+			lo++
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// pointSearchBL is pointSearch with every comparison materialized by
+// SETcc and folded in with mask arithmetic — no data-dependent
+// branches. Used by LookupBatch's evaluation pass, whose iterations
+// are independent across keys: out-of-order execution overlaps their
+// loads, and removing the mispredict flushes is pure win there.
+func pointSearchBL(points []Point, x core.Key, lo, hi int) int {
+	width := hi - lo
+	if width > 0 {
+		w := 1 << (bits.Len(uint(width)) - 1)
+		if w != width {
+			c := 0
+			if points[lo+width-w].Key <= x {
+				c = 1
+			}
+			lo += (width - w) & -c
+		}
+		for w > 1 {
+			half := w >> 1
+			c := 0
+			if points[lo+half-1].Key <= x {
+				c = 1
+			}
+			lo += half & -c
+			w = half
+		}
+		c := 0
+		if points[lo].Key <= x {
+			c = 1
+		}
+		lo += c
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
 // segmentFor locates the spline segment containing x: the rightmost
 // point with Key <= x, restricted to the radix-table window.
 func (idx *Index) segmentFor(x core.Key) int {
@@ -225,18 +296,7 @@ func (idx *Index) segmentFor(x core.Key) int {
 	if hi > len(idx.points) {
 		hi = len(idx.points)
 	}
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if idx.points[mid].Key <= x {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo == 0 {
-		return 0
-	}
-	return lo - 1
+	return pointSearch(idx.points, x, lo, hi)
 }
 
 // Lookup implements core.Index.
@@ -246,16 +306,43 @@ func (idx *Index) Lookup(key core.Key) core.Bound {
 	return core.BoundAround(pos, idx.errLo, idx.errHi, idx.n)
 }
 
-// LookupBatch implements core.BatchIndex: the radix-table probe and
-// spline interpolation run in one tight loop with the global margins
-// hoisted, so consecutive table loads can overlap instead of each
-// paying an interface dispatch. Bounds are identical to Lookup's.
+// batchChunk is the LookupBatch processing granularity: the per-chunk
+// window scratch lives on the stack and a chunk's keys stay in L1
+// between the two passes.
+const batchChunk = 64
+
+// LookupBatch implements core.BatchIndex in two passes per chunk:
+// pass 1 computes every key's radix-table window (the table loads of
+// different keys are independent, so their misses overlap); pass 2
+// runs the branchless spline-point search and interpolation over the
+// prefetched windows. Bounds are identical to Lookup's.
 func (idx *Index) LookupBatch(keys []core.Key, out []core.Bound) {
 	errLo, errHi, n := idx.errLo, idx.errHi, idx.n
-	for i, x := range keys {
-		seg := idx.segmentFor(x)
-		pos := idx.interpolate(seg, x)
-		out[i] = core.BoundAround(pos, errLo, errHi, n)
+	npts := len(idx.points)
+	var wlo, whi [batchChunk]int32
+	for off := 0; off < len(keys); off += batchChunk {
+		end := off + batchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		outc := out[off:end]
+		for i, x := range chunk {
+			p := idx.prefix(x)
+			lo, hi := int(idx.radix[p]), int(idx.radix[p+1])
+			if lo > 0 {
+				lo--
+			}
+			if hi > npts {
+				hi = npts
+			}
+			wlo[i], whi[i] = int32(lo), int32(hi)
+		}
+		for i, x := range chunk {
+			seg := pointSearchBL(idx.points, x, int(wlo[i]), int(whi[i]))
+			pos := idx.interpolate(seg, x)
+			outc[i] = core.BoundAround(pos, errLo, errHi, n)
+		}
 	}
 }
 

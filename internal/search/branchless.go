@@ -1,0 +1,130 @@
+// Branchless last-mile search and prefetch-pipelined batch probes.
+//
+// The per-lookup budget at production scale is dominated by the last
+// mile (Section 4.2.3 of the paper): a handful of data-array loads plus
+// the branch mispredicts of a classic binary search. The functions in
+// this file attack both terms. BranchlessSearch replaces the
+// unpredictable compare-and-branch with a conditional-move ladder over
+// power-of-two widths, so the only pipeline hazard left is the load
+// itself. LinearSearch (in search.go) uses a sentinel-free
+// compare-accumulate block scan with the same property. NarrowBatch and
+// SearchBatch then attack the loads: a batch of independent searches is
+// advanced one probe step per round, so the random data-array loads of
+// different keys are all in flight at once instead of each search
+// serializing behind its own log2(width) dependent-miss chain — the
+// software-prefetch-style pipelining the table layer's GetBatch
+// introduced, pushed down into the search layer where every consumer
+// (table probe rounds, index-family batch lookups, bench harnesses)
+// can reach it.
+package search
+
+import (
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// BranchlessSearch locates the lower bound of key within the bound
+// using a branch-free fixed-width binary search: one conditional step
+// reduces the bound to the largest power-of-two width, then a ladder of
+// exact halvings advances lo by (width>>1) whenever the probed key is
+// small. Each comparison is materialized with SETcc and folded into lo
+// by mask arithmetic (lo += half & -c), so the ladder carries no
+// data-dependent branches — the hard-to-predict comparisons of a
+// random workload cost no mispredict flushes. The explicit mask form
+// matters: a plain `if keys[m] < key { lo += half }` stays a branch,
+// because the compiler refuses to put a load's latency on a loop-
+// carried dependency via CMOV.
+func BranchlessSearch(keys []core.Key, key core.Key, b core.Bound) int {
+	lo, width := b.Lo, b.Hi-b.Lo
+	if width <= 0 {
+		return lo
+	}
+	// Reduce to a power-of-two width: the lower bound lies in
+	// [lo, lo+width]; comparing at lo+width-w either keeps [lo, lo+w]
+	// or shifts the base so the remaining window is exactly w wide.
+	w := 1 << (bits.Len(uint(width)) - 1)
+	if w != width {
+		c := 0
+		if keys[lo+width-w] < key {
+			c = 1
+		}
+		lo += (width - w) & -c
+	}
+	// Exact-halving ladder: invariant lb(key) ∈ [lo, lo+w].
+	for w > 1 {
+		half := w >> 1
+		c := 0
+		if keys[lo+half-1] < key {
+			c = 1
+		}
+		lo += half & -c
+		w = half
+	}
+	c := 0
+	if keys[lo] < key {
+		c = 1
+	}
+	return lo + c
+}
+
+// narrowStop is the bound width at which the pipelined rounds of
+// NarrowBatch stop: at 8 keys the whole bound spans at most two cache
+// lines, every remaining probe hits, and independent-probe scheduling
+// has nothing left to overlap.
+const narrowStop = 8
+
+// NarrowBatch runs pipelined binary probe rounds over a batch of
+// searches: each round advances every bound wider than stopWidth by one
+// branchless probe step. The probes of a round touch independent
+// cache lines, so the memory system overlaps their misses — the batch
+// resolves in ~log2(maxWidth) rounds of parallel loads instead of
+// len(qs) serial chains. Bounds are narrowed in place in the closed
+// form Lo <= lb <= Hi (a probe that moves Hi can land it exactly on
+// the lower bound; every Fn in this package resolves that form
+// correctly, exactly as the intermediate states of a classic binary
+// search do). stopWidth < 1 defaults to 8; maxRounds <= 0 means no
+// cap.
+func NarrowBatch(keys []core.Key, qs []core.Key, bs []core.Bound, stopWidth, maxRounds int) {
+	if stopWidth < 1 {
+		stopWidth = narrowStop
+	}
+	if maxRounds <= 0 {
+		maxRounds = bits.UintSize
+	}
+	bs = bs[:len(qs)] // one bounds check here, none in the rounds
+	for round := 0; round < maxRounds; round++ {
+		active := false
+		for i := range bs {
+			lo, hi := bs[i].Lo, bs[i].Hi
+			if hi-lo <= stopWidth {
+				continue
+			}
+			active = true
+			mid := int(uint(lo+hi) >> 1)
+			if keys[mid] < qs[i] {
+				bs[i].Lo = mid + 1
+			} else {
+				bs[i].Hi = mid
+			}
+		}
+		if !active {
+			return
+		}
+	}
+}
+
+// SearchBatch resolves a batch of independent searches: pos[i] receives
+// the absolute lower-bound position of qs[i] within bs[i]. Wide bounds
+// are first narrowed with pipelined probe rounds (NarrowBatch), then
+// each key finishes with the branchless ladder over its residual
+// window. bs is consumed as scratch (narrowed in place). len(bs) and
+// len(pos) must be at least len(qs).
+func SearchBatch(keys []core.Key, qs []core.Key, bs []core.Bound, pos []int) {
+	bs = bs[:len(qs)]
+	pos = pos[:len(qs)]
+	NarrowBatch(keys, qs, bs, narrowStop, 0)
+	for i, x := range qs {
+		pos[i] = BranchlessSearch(keys, x, bs[i])
+	}
+}

@@ -26,6 +26,7 @@ const (
 	Binary Kind = iota
 	Linear
 	Interpolation
+	Branchless
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +38,8 @@ func (k Kind) String() string {
 		return "linear"
 	case Interpolation:
 		return "interpolation"
+	case Branchless:
+		return "branchless"
 	default:
 		return "unknown"
 	}
@@ -51,6 +54,8 @@ func ByKind(k Kind) Fn {
 		return LinearSearch
 	case Interpolation:
 		return InterpolationSearch
+	case Branchless:
+		return BranchlessSearch
 	default:
 		return BinarySearch
 	}
@@ -71,15 +76,43 @@ func BinarySearch(keys []core.Key, key core.Key, b core.Bound) int {
 	return lo
 }
 
+// linearBlock is the LinearSearch block width: one block is eight keys
+// (a cache line), compared without branches; the scan branches only
+// between blocks.
+const linearBlock = 8
+
 // LinearSearch scans forward from the start of the bound. It is fastest
 // only for very narrow bounds (the paper finds binary search wins above
-// a small threshold).
+// a small threshold). The scan is a sentinel-free compare-accumulate:
+// each block of eight keys is compared unconditionally and the match
+// count (the keys still below the lookup key) added to the cursor, so
+// the only branch is the once-per-block exit test — the classic
+// per-element `keys[i] < key` exit branch, mispredicted exactly at the
+// answer, is gone.
 func LinearSearch(keys []core.Key, key core.Key, b core.Bound) int {
 	i := b.Lo
-	for i < b.Hi && keys[i] < key {
-		i++
+	for i+linearBlock <= b.Hi {
+		blk := keys[i : i+linearBlock : i+linearBlock]
+		c := 0
+		for _, k := range blk {
+			if k < key { // compiles to SETcc + add: no data-dependent branch
+				c++
+			}
+		}
+		i += c
+		if c < linearBlock {
+			return i
+		}
 	}
-	return i
+	// Residual tail (< one block): compare-accumulate without the exit
+	// test; sorted keys make the count the lower-bound offset.
+	c := 0
+	for _, k := range keys[i:b.Hi] {
+		if k < key {
+			c++
+		}
+	}
+	return i + c
 }
 
 // InterpolationSearch repeatedly estimates the key's position assuming

@@ -22,8 +22,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -318,13 +318,45 @@ func (st *Store) Close() {
 
 // shardOf routes a key to the shard owning its range: the rightmost
 // shard whose separator is <= key (keys below every separator belong
-// to shard 0, where they are correctly reported absent).
+// to shard 0, where they are correctly reported absent). It sits on
+// every single Get/Put and GetBatch gather, so the generic sort.Search
+// closure (an indirect call per probe plus a mispredict-prone branch)
+// is replaced by an inlined branch-free ladder: one conditional step
+// reduces the separator count to a power of two, then each halving is
+// a compare materialized with SETcc and folded in by mask arithmetic.
 func (st *Store) shardOf(x core.Key) int {
-	i := sort.Search(len(st.seps), func(i int) bool { return st.seps[i] > x })
-	if i == 0 {
+	seps := st.seps
+	lo, width := 0, len(seps)
+	if width > 0 {
+		w := 1 << (bits.Len(uint(width)) - 1)
+		if w != width {
+			c := 0
+			if seps[width-w] <= x {
+				c = 1
+			}
+			lo = (width - w) & -c
+		}
+		for w > 1 {
+			half := w >> 1
+			c := 0
+			if seps[lo+half-1] <= x {
+				c = 1
+			}
+			lo += half & -c
+			w = half
+		}
+		c := 0
+		if seps[lo] <= x {
+			c = 1
+		}
+		lo += c
+	}
+	// lo is now the first separator above x; its predecessor owns the
+	// key, with below-all-separators keys clamped into shard 0.
+	if lo == 0 {
 		return 0
 	}
-	return i - 1
+	return lo - 1
 }
 
 // NumShards reports the number of range partitions actually built.

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -244,5 +246,42 @@ func TestUnknownFamily(t *testing.T) {
 	}
 	if _, err := New(keys, payloads[:10], Config{}); err == nil {
 		t.Error("length mismatch accepted")
+	}
+}
+
+// TestShardOfMatchesSortSearch checks the inlined branchless separator
+// search against the sort.Search formulation it replaced, across every
+// separator-count shape (1..17 shards, including non-power-of-two
+// widths) and probe positions below, at, between, and above every
+// separator.
+func TestShardOfMatchesSortSearch(t *testing.T) {
+	oracle := func(seps []core.Key, x core.Key) int {
+		i := sort.Search(len(seps), func(i int) bool { return seps[i] > x })
+		if i == 0 {
+			return 0
+		}
+		return i - 1
+	}
+	rng := rand.New(rand.NewSource(11))
+	for nShards := 1; nShards <= 17; nShards++ {
+		st := &Store{seps: make([]core.Key, nShards)}
+		v := core.Key(5 + rng.Intn(100))
+		for i := range st.seps {
+			st.seps[i] = v
+			v += core.Key(1 + rng.Intn(1000))
+		}
+		var probes []core.Key
+		probes = append(probes, 0, ^core.Key(0))
+		for _, s := range st.seps {
+			probes = append(probes, s-1, s, s+1)
+		}
+		for q := 0; q < 200; q++ {
+			probes = append(probes, core.Key(rng.Intn(int(v)+10)))
+		}
+		for _, x := range probes {
+			if got, want := st.shardOf(x), oracle(st.seps, x); got != want {
+				t.Fatalf("shardOf(%d) over %v = %d, want %d", x, st.seps, got, want)
+			}
+		}
 	}
 }

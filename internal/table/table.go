@@ -30,7 +30,8 @@ type Table struct {
 }
 
 // New wraps existing data in a Table. keys must be sorted ascending
-// and the same length as payloads; fn nil defaults to binary search.
+// and the same length as payloads; fn nil defaults to branchless
+// binary search (search.BranchlessSearch).
 // The Table aliases both slices — callers must not mutate them.
 func New(keys []core.Key, payloads []uint64, idx core.Index, fn search.Fn) (*Table, error) {
 	if idx == nil {
@@ -43,7 +44,7 @@ func New(keys []core.Key, payloads []uint64, idx core.Index, fn search.Fn) (*Tab
 		return nil, errors.New("table: keys not sorted")
 	}
 	if fn == nil {
-		fn = search.BinarySearch
+		fn = search.BranchlessSearch
 	}
 	return &Table{keys: keys, payloads: payloads, idx: idx, fn: fn}, nil
 }
@@ -66,7 +67,8 @@ func (emptyIndex) SizeBytes() int             { return 0 }
 func (emptyIndex) Name() string               { return "Empty" }
 
 // Empty returns a zero-length table (e.g. the result of compacting a
-// run whose every key was deleted). fn nil defaults to binary search.
+// run whose every key was deleted). fn nil defaults to branchless
+// binary search.
 func Empty(fn search.Fn) *Table {
 	t, err := New(nil, nil, emptyIndex{}, fn)
 	if err != nil {
@@ -209,57 +211,58 @@ func (t *Table) getBlock(chunk []core.Key, out []uint64, bs []core.Bound) int {
 	// Pass 1: bound prediction, vectorized when the index supports it.
 	core.LookupBatch(t.idx, chunk, bs)
 
-	// Pass 2: pipelined binary-search rounds. Every active bound takes
-	// one probe per round; the probes of a round are independent, so
-	// their data-array loads overlap instead of chaining like the
-	// per-key path's log2(width) dependent misses.
-	rounds := maxProbeRounds
-	if len(t.keys) < pipelineMinKeys {
-		rounds = 0
+	keys, payloads := t.keys, t.payloads
+	n := len(keys)
+	if n == 0 {
+		for i := range out[:len(chunk)] {
+			out[i] = 0
+		}
+		return 0
 	}
-	for round := 0; round < rounds; round++ {
-		active := false
-		for i := range bs {
-			lo, hi := bs[i].Lo, bs[i].Hi
-			if hi-lo <= narrowWidth {
-				continue
-			}
-			active = true
-			mid := int(uint(lo+hi) >> 1)
-			if t.keys[mid] < chunk[i] {
-				bs[i].Lo = mid + 1
-			} else {
-				bs[i].Hi = mid
-			}
-		}
-		if !active {
-			break
-		}
+
+	// Pass 2: pipelined probe rounds through the batched search layer.
+	// Every active bound takes one branchless probe per round; the
+	// probes of a round are independent, so their data-array loads
+	// overlap instead of chaining like the per-key path's log2(width)
+	// dependent misses.
+	if n >= pipelineMinKeys {
+		search.NarrowBatch(keys, chunk, bs, narrowWidth, maxProbeRounds)
 	}
 
 	// Pass 3: scalar last mile on the narrowed bounds, reusing the
 	// previous position as a floor whenever the block is locally
 	// ascending (LB is monotone in the key, so a later-or-equal key
-	// can never land before an earlier key's resolved position).
+	// can never land before an earlier key's resolved position). The
+	// loop is flat: the floor seed (prevKey=0, prevPos=0) makes the
+	// first iteration a no-op without a havePrev flag, and the
+	// hit/miss accounting is a clamp + mask instead of a branch the
+	// predictor can't learn on mixed hit/miss workloads.
 	found := 0
 	prevPos := 0
-	havePrev := false
+	var prevKey core.Key
+	bs = bs[:len(chunk)]
+	out = out[:len(chunk)]
+	payloads = payloads[:n] // len(payloads)==len(keys): lets BCE drop the gather checks
 	for i, x := range chunk {
 		b := bs[i]
-		if havePrev && x >= chunk[i-1] && prevPos > b.Lo {
+		if x >= prevKey && prevPos > b.Lo {
 			b.Lo = prevPos
 			if b.Lo > b.Hi {
 				b.Lo = b.Hi
 			}
 		}
-		pos := t.fn(t.keys, x, b)
-		prevPos, havePrev = pos, true
-		if pos < len(t.keys) && t.keys[pos] == x {
-			out[i] = t.payloads[pos]
-			found++
-		} else {
-			out[i] = 0
+		pos := t.fn(keys, x, b)
+		prevPos, prevKey = pos, x
+		at := uint(pos)
+		if at >= uint(n) {
+			at = uint(n) - 1 // conditional move; pos==n loads a dummy slot
 		}
+		hit := 0
+		if pos < n && keys[at] == x {
+			hit = 1
+		}
+		found += hit
+		out[i] = payloads[at] * uint64(hit)
 	}
 	return found
 }
