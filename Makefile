@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet bench bench-smoke report-smoke race serve serve-write serve-tail persist fuzz-smoke examples doccheck perfgate perfgate-update
+.PHONY: tier1 vet bench bench-smoke report-smoke race serve serve-write serve-tail serve-net persist fuzz-smoke examples doccheck perfgate perfgate-update
 
 # tier1 is the verify recipe: everything must build and every test pass.
 tier1:
@@ -26,9 +26,11 @@ report-smoke:
 	$(GO) run ./cmd/reportlint BENCH_smoke.json
 
 # race runs the concurrency-sensitive packages under the race detector
-# (serve includes the snapshot/restore map-oracle suite).
+# (serve includes the snapshot/restore map-oracle suite; net runs
+# concurrent clients against the server with compactions and a
+# snapshot racing the traffic).
 race:
-	$(GO) test -race ./internal/serve/ ./internal/table/ ./internal/stats/ ./internal/load/ ./internal/persist/
+	$(GO) test -race ./internal/serve/ ./internal/table/ ./internal/stats/ ./internal/load/ ./internal/persist/ ./internal/net/
 
 # serve prints the serving-layer experiment at a quick scale.
 serve:
@@ -43,19 +45,25 @@ serve-write:
 serve-tail:
 	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-tail
 
+# serve-net prints the network serving experiment (goodput vs tail
+# through coalescing + admission control, below and past capacity).
+serve-net:
+	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-net
+
 # persist prints the cold-vs-warm restart experiment at a quick scale.
 persist:
 	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 persist
 
-# fuzz-smoke runs every persistence fuzz target briefly (10s each):
-# truncated/bit-flipped snapshots, WALs, tables and manifests must
-# error, never panic or over-allocate.
+# fuzz-smoke runs every decoder fuzz target briefly (10s each):
+# truncated/bit-flipped snapshots, WALs, tables, manifests, and wire
+# frames must error, never panic or over-allocate.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -run '^$$' -fuzz '^FuzzWAL$$' -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -run '^$$' -fuzz '^FuzzTable$$' -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run '^$$' -fuzz '^FuzzFrame$$' -fuzztime $(FUZZTIME) ./internal/net/
 
 # perfgate is the perf regression gate: a fresh 1M-key serve run (RMI +
 # PGM batched-lookup latency and sharded-store throughput) rendered as

@@ -1,0 +1,116 @@
+// Command sosdserve runs the network serving front end: it builds a
+// serve.Store over a generated dataset and listens for the internal/net
+// frame protocol, with request coalescing and admission control. It is
+// the long-running half of the serve-net experiment — point sosd's
+// client library (or a second machine) at it to measure serving over a
+// real network instead of loopback.
+//
+// Usage:
+//
+//	sosdserve [-addr host:port] [-dataset name] [-n keys] [-seed s]
+//	          [-family f] [-shards k] [-window d] [-batchcap b]
+//	          [-maxpending p] [-maxconns c]
+//
+// The server runs until SIGINT/SIGTERM, then shuts down gracefully and
+// prints its final stats (accepted, shed, coalescing, latency tail) to
+// stderr. The coalescer's pacing pins service capacity at
+// batchcap/window lookups per second; requests past that are refused
+// with RetryLater rather than queued without bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/net"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	dsName := flag.String("dataset", "amzn", "dataset to generate (amzn, face, osm, wiki)")
+	n := flag.Int("n", 200_000, "dataset size in keys")
+	seed := flag.Uint64("seed", bench.DefaultSeed, "dataset seed")
+	family := flag.String("family", "PGM", "index family for the store's shards")
+	shards := flag.Int("shards", 4, "shard count")
+	window := flag.Duration("window", net.DefaultCoalesceWindow, "coalescing window (pins capacity with -batchcap)")
+	batchCap := flag.Int("batchcap", net.DefaultBatchCap, "max point lookups coalesced into one store batch")
+	maxPending := flag.Int("maxpending", net.DefaultMaxPending, "admission limit on in-flight requests; excess is shed")
+	maxConns := flag.Int("maxconns", net.DefaultMaxConns, "connection limit; excess accepts are refused")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	known := false
+	for _, f := range registry.Families() {
+		if f == *family {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fatal(fmt.Errorf("unknown family %q (known: %v)", *family, registry.Families()))
+	}
+
+	fmt.Fprintf(os.Stderr, "generating %s, %d keys (seed %d)...\n", *dsName, *n, *seed)
+	keys, err := dataset.Generate(dataset.Name(*dsName), *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := serve.New(keys, dataset.Payloads(*n, *seed), serve.Config{
+		Shards: *shards, Family: *family,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+
+	srv, err := net.Listen(*addr, st, net.Config{
+		CoalesceWindow: *window,
+		BatchCap:       *batchCap,
+		MaxPending:     *maxPending,
+		MaxConns:       *maxConns,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	capacity := float64(*batchCap) / window.Seconds()
+	fmt.Fprintf(os.Stderr, "serving %s/%s on %s (%d shards, window %v, batch cap %d → capacity %.0f lookups/s, admission %d, conns %d)\n",
+		*dsName, *family, srv.Addr(), *shards, *window, *batchCap, capacity, *maxPending, *maxConns)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down...")
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	s := srv.Stats()
+	fmt.Fprintf(os.Stderr, "drained in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "accepted %d, shed %d, shed conns %d, dropped conns %d\n",
+		s.Accepted, s.Shed, s.ShedConns, s.DroppedConns)
+	if s.Batches > 0 {
+		fmt.Fprintf(os.Stderr, "coalesced %d lookups into %d batches (mean %.1f keys), max queue depth %d\n",
+			s.BatchedKeys, s.Batches, float64(s.BatchedKeys)/float64(s.Batches), s.MaxQueueDepth)
+	}
+	if s.Latency != nil && s.Latency.Count() > 0 {
+		q := s.Latency.Summary()
+		fmt.Fprintf(os.Stderr, "service time p50 %.1fµs p99 %.1fµs p99.9 %.1fµs max %.1fµs\n",
+			float64(q.P50)/1e3, float64(q.P99)/1e3, float64(q.P999)/1e3, float64(q.Max)/1e3)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sosdserve: %v\n", err)
+	os.Exit(1)
+}

@@ -134,6 +134,12 @@ func TestServeTailSweepEndToEnd(t *testing.T) {
 		"RMI", "PGM", "BTree")
 }
 
+func TestServeNetSweepEndToEnd(t *testing.T) {
+	runExperiment(t, "serve-net",
+		"Network serving", "loopback", "RetryLater", "goodput", "sheds",
+		"closed", "open50%", "open120%", "open200%", "PGM")
+}
+
 func TestServeWriteSweepEndToEnd(t *testing.T) {
 	runExperiment(t, "serve-write",
 		"Mixed read/write", "threshold sweep", "RMI", "PGM", "BTree", "zipf", "unif")

@@ -1,0 +1,78 @@
+package binio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFramedRoundTrip(t *testing.T) {
+	bodies := [][]byte{
+		{},
+		{0x42},
+		bytes.Repeat([]byte("frame"), 1000),
+	}
+	var buf bytes.Buffer
+	for _, b := range bodies {
+		if err := WriteFramed(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for _, want := range bodies {
+		got, err := ReadFramed(&buf, scratch, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("body mismatch: got %d bytes, want %d", len(got), len(want))
+		}
+		scratch = got[:cap(got)]
+	}
+	if _, err := ReadFramed(&buf, scratch, 1<<20); err != io.EOF {
+		t.Fatalf("exhausted stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestFramedOversizeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFramed(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFramed(&buf, nil, 99); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversize frame: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFramedCorruption flips every byte of an encoded frame in turn:
+// each flip must produce ErrCorrupt (or a valid-but-different body only
+// if it somehow still checksums, which CRC64 makes effectively
+// impossible at this size), never a panic.
+func TestFramedCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("the quick brown fox jumps over the lazy dog")
+	if err := WriteFramed(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for i := range frame {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x40
+		_, err := ReadFramed(bytes.NewReader(mut), nil, 1<<20)
+		if err == nil {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+	}
+	// Truncations: every proper prefix must error (io.EOF only at 0).
+	for i := 0; i < len(frame); i++ {
+		_, err := ReadFramed(bytes.NewReader(frame[:i]), nil, 1<<20)
+		if i == 0 {
+			if err != io.EOF {
+				t.Fatalf("empty stream: got %v, want io.EOF", err)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: got %v, want ErrCorrupt", i, err)
+		}
+	}
+}

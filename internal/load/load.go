@@ -1,6 +1,7 @@
 // Package load implements the concurrent load generators of the
 // tail-latency experiments: closed-loop and open-loop drivers that
-// push mixed Get/GetBatch/Put operation streams into a serve.Store and
+// push mixed Get/GetBatch/Put operation streams into a Target — a
+// serve.Store in process, or a network client pool fronting one — and
 // record per-operation latency into per-worker stats.Histograms.
 //
 // The two loops answer different questions. The closed loop (RunClosed)
@@ -22,15 +23,54 @@
 package load
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/serve"
 	"repro/internal/stats"
 )
+
+// Target is the operation sink of a generator run: the serve.Store
+// read/write surface the generators drive. serve.Store satisfies it
+// directly; net.Pool satisfies it over a wire.
+type Target interface {
+	// Get returns the live payload for key, or false when absent.
+	Get(key core.Key) (uint64, bool)
+	// GetBatch fills out[i] with the payload of keys[i] (0 when
+	// absent) and returns the number found.
+	GetBatch(keys []core.Key, out []uint64) int
+	// Put inserts or updates key.
+	Put(key core.Key, payload uint64)
+}
+
+// ErrTarget is the optional Target extension for sinks whose
+// operations can be refused or fail — a network client under server
+// admission control. When a Target implements it, the generators issue
+// every operation through the Try variants: a shed refusal (an error
+// whose chain carries Shed() bool == true) counts into Result.Sheds,
+// any other error into Result.Errors, and neither lands in the
+// accepted-operation histogram — a shed is an explicit fast refusal,
+// not a served request, and folding its latency into the histogram
+// would let a server flatter its tail by shedding.
+type ErrTarget interface {
+	Target
+	TryGet(key core.Key) (uint64, bool, error)
+	TryGetBatch(keys []core.Key, out []uint64) (int, error)
+	TryPut(key core.Key, payload uint64) error
+}
+
+// shedder is the marker carried by refusal errors; declared structurally
+// so load does not import the transport package that sheds.
+type shedder interface{ Shed() bool }
+
+// IsShed reports whether err marks a load-shed refusal.
+func IsShed(err error) bool {
+	var s shedder
+	return errors.As(err, &s) && s.Shed()
+}
 
 // Kind discriminates the operations of a workload stream.
 type Kind uint8
@@ -89,8 +129,14 @@ type Result struct {
 	// to its completion (queueing delay included).
 	Hist *stats.Histogram
 
-	// Ops, Reads, and Writes count completed operations.
+	// Ops, Reads, and Writes count completed (accepted) operations.
 	Ops, Reads, Writes int
+
+	// Sheds counts operations the target explicitly refused under
+	// admission control (see ErrTarget); Errors counts operations that
+	// failed for any other reason. Neither is included in Ops or Hist,
+	// so Throughput is goodput: accepted operations per second.
+	Sheds, Errors int
 
 	// Elapsed is the wall time of the whole run; Throughput is
 	// Ops/Elapsed in operations per second.
@@ -106,6 +152,7 @@ type Result struct {
 type worker struct {
 	hist          stats.Histogram
 	reads, writes int
+	sheds, errs   int
 	checksum      uint64
 }
 
@@ -116,6 +163,8 @@ func mergeWorkers(ws []*worker, elapsed time.Duration) *Result {
 		res.Hist.Merge(&w.hist)
 		res.Reads += w.reads
 		res.Writes += w.writes
+		res.Sheds += w.sheds
+		res.Errors += w.errs
 		res.Checksum += w.checksum
 	}
 	res.Ops = res.Reads + res.Writes
@@ -123,6 +172,15 @@ func mergeWorkers(ws []*worker, elapsed time.Duration) *Result {
 		res.Throughput = float64(res.Ops) / elapsed.Seconds()
 	}
 	return res
+}
+
+// note classifies a Try-variant failure into the worker's counters.
+func (w *worker) note(err error, nOps int) {
+	if IsShed(err) {
+		w.sheds += nOps
+	} else {
+		w.errs += nOps
+	}
 }
 
 // stopped reports whether cfg.Stop has fired (nil Stop never fires).
@@ -142,7 +200,7 @@ func stopped(stop <-chan struct{}) bool {
 // worker w executes ops[w], ops[w+W], ... back to back, timing each
 // operation (or each GetBatch flush) individually. All workers are
 // joined before RunClosed returns.
-func RunClosed(st *serve.Store, ops []Op, cfg Config) *Result {
+func RunClosed(st Target, ops []Op, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	if cfg.Batch < 1 {
 		cfg.Batch = 1
@@ -162,7 +220,8 @@ func RunClosed(st *serve.Store, ops []Op, cfg Config) *Result {
 	return mergeWorkers(ws, time.Since(start))
 }
 
-func closedWorker(st *serve.Store, ops []Op, cfg Config, w int, out *worker) {
+func closedWorker(st Target, ops []Op, cfg Config, w int, out *worker) {
+	et, _ := st.(ErrTarget)
 	keys := make([]core.Key, 0, cfg.Batch)
 	vals := make([]uint64, cfg.Batch)
 	flush := func() {
@@ -170,7 +229,15 @@ func closedWorker(st *serve.Store, ops []Op, cfg Config, w int, out *worker) {
 			return
 		}
 		t0 := time.Now()
-		st.GetBatch(keys, vals[:len(keys)])
+		if et != nil {
+			if _, err := et.TryGetBatch(keys, vals[:len(keys)]); err != nil {
+				out.note(err, len(keys))
+				keys = keys[:0]
+				return
+			}
+		} else {
+			st.GetBatch(keys, vals[:len(keys)])
+		}
 		lat := time.Since(t0).Nanoseconds()
 		for _, v := range vals[:len(keys)] {
 			out.hist.Record(lat)
@@ -195,21 +262,46 @@ func closedWorker(st *serve.Store, ops []Op, cfg Config, w int, out *worker) {
 		}
 		flush() // a write (or unbatched read) breaks the read run
 		t0 := time.Now()
-		switch op.Kind {
-		case Get:
-			v, ok := st.Get(op.Key)
-			out.hist.Record(time.Since(t0).Nanoseconds())
-			if ok {
-				out.checksum += v
-			}
-			out.reads++
-		case Put:
-			st.Put(op.Key, op.Payload)
-			out.hist.Record(time.Since(t0).Nanoseconds())
-			out.writes++
-		}
+		execOp(st, et, op, t0, out)
 	}
 	flush()
+}
+
+// execOp issues one point operation against the target and records its
+// outcome: accepted operations land in the histogram (latency measured
+// from t0, which the open loop sets to the scheduled arrival), refused
+// and failed ones only in their counters.
+func execOp(st Target, et ErrTarget, op Op, t0 time.Time, out *worker) {
+	switch op.Kind {
+	case Get:
+		var v uint64
+		var ok bool
+		if et != nil {
+			var err error
+			if v, ok, err = et.TryGet(op.Key); err != nil {
+				out.note(err, 1)
+				return
+			}
+		} else {
+			v, ok = st.Get(op.Key)
+		}
+		out.hist.Record(time.Since(t0).Nanoseconds())
+		if ok {
+			out.checksum += v
+		}
+		out.reads++
+	case Put:
+		if et != nil {
+			if err := et.TryPut(op.Key, op.Payload); err != nil {
+				out.note(err, 1)
+				return
+			}
+		} else {
+			st.Put(op.Key, op.Payload)
+		}
+		out.hist.Record(time.Since(t0).Nanoseconds())
+		out.writes++
+	}
 }
 
 // sleepSlack is how far ahead of a scheduled arrival the open loop
@@ -226,7 +318,7 @@ const sleepSlack = 200 * time.Microsecond
 // running behind schedule executes late operations immediately and the
 // backlog wait lands in the histogram. All workers are joined before
 // RunOpen returns.
-func RunOpen(st *serve.Store, ops []Op, cfg Config) *Result {
+func RunOpen(st Target, ops []Op, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	if cfg.Rate <= 0 {
 		panic("load: RunOpen requires a positive Rate")
@@ -247,7 +339,8 @@ func RunOpen(st *serve.Store, ops []Op, cfg Config) *Result {
 	return mergeWorkers(ws, time.Since(epoch))
 }
 
-func openWorker(st *serve.Store, ops []Op, arrivals []time.Duration, epoch time.Time, cfg Config, w int, out *worker) {
+func openWorker(st Target, ops []Op, arrivals []time.Duration, epoch time.Time, cfg Config, w int, out *worker) {
+	et, _ := st.(ErrTarget)
 	for i := w; i < len(ops); i += cfg.Workers {
 		sched := epoch.Add(arrivals[i])
 		for {
@@ -277,19 +370,8 @@ func openWorker(st *serve.Store, ops []Op, arrivals []time.Duration, epoch time.
 				runtime.Gosched()
 			}
 		}
-		op := ops[i]
-		switch op.Kind {
-		case Get:
-			v, ok := st.Get(op.Key)
-			out.hist.Record(time.Since(sched).Nanoseconds())
-			if ok {
-				out.checksum += v
-			}
-			out.reads++
-		case Put:
-			st.Put(op.Key, op.Payload)
-			out.hist.Record(time.Since(sched).Nanoseconds())
-			out.writes++
-		}
+		// Latency is charged from the scheduled arrival: backlog wait
+		// for late operations, zero queueing for on-time ones.
+		execOp(st, et, ops[i], sched, out)
 	}
 }

@@ -1,8 +1,11 @@
 package load
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -249,6 +252,101 @@ func TestGeneratorShutdownLeavesNoGoroutines(t *testing.T) {
 		t.Fatalf("pre-fired Stop did not abort closed loop: %d ops", res2.Ops)
 	}
 	waitGoroutines(t, baseline)
+}
+
+// serve.Store is the canonical in-process Target.
+var _ Target = (*serve.Store)(nil)
+
+// shedTarget is a fake ErrTarget that refuses every n-th operation
+// with a shed error and fails every m-th with a plain error, tracking
+// what it actually executed.
+type shedTarget struct {
+	mu       sync.Mutex
+	n        int
+	shedMod  int
+	errMod   int
+	executed int
+}
+
+type shedErr struct{}
+
+func (shedErr) Error() string { return "shed: retry later" }
+func (shedErr) Shed() bool    { return true }
+
+func (s *shedTarget) disposition() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	if s.shedMod > 0 && s.n%s.shedMod == 0 {
+		return shedErr{}
+	}
+	if s.errMod > 0 && s.n%s.errMod == 0 {
+		return errors.New("plain failure")
+	}
+	s.executed++
+	return nil
+}
+
+func (s *shedTarget) TryGet(k core.Key) (uint64, bool, error) {
+	if err := s.disposition(); err != nil {
+		return 0, false, err
+	}
+	return uint64(k) + 1, true, nil
+}
+
+func (s *shedTarget) TryGetBatch(keys []core.Key, out []uint64) (int, error) {
+	if err := s.disposition(); err != nil {
+		return 0, err
+	}
+	for i, k := range keys {
+		out[i] = uint64(k) + 1
+	}
+	return len(keys), nil
+}
+
+func (s *shedTarget) TryPut(core.Key, uint64) error { return s.disposition() }
+
+// The non-Try surface must never be reached once ErrTarget is
+// implemented; panic so a regression is loud.
+func (s *shedTarget) Get(core.Key) (uint64, bool)       { panic("load bypassed TryGet") }
+func (s *shedTarget) GetBatch([]core.Key, []uint64) int { panic("load bypassed TryGetBatch") }
+func (s *shedTarget) Put(core.Key, uint64)              { panic("load bypassed TryPut") }
+
+// TestShedAccounting pins the ErrTarget contract for both generators:
+// sheds and errors are counted apart from accepted ops, excluded from
+// the histogram, and conservation holds — every operation of the
+// stream is accepted, shed, or errored.
+func TestShedAccounting(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Amzn, 500, 3)
+	ops := MixedOps(keys, 1200, 0.75, 0, 9)
+	for name, run := range map[string]func(Target, []Op, Config) *Result{
+		"closed":      func(tg Target, o []Op, c Config) *Result { return RunClosed(tg, o, c) },
+		"closedBatch": func(tg Target, o []Op, c Config) *Result { c.Batch = 16; return RunClosed(tg, o, c) },
+		"open":        func(tg Target, o []Op, c Config) *Result { c.Rate = 5_000_000; return RunOpen(tg, o, c) },
+	} {
+		tg := &shedTarget{shedMod: 3, errMod: 7}
+		res := run(tg, ops, Config{Workers: 4, Seed: 1})
+		if res.Sheds == 0 || res.Errors == 0 {
+			t.Fatalf("%s: degenerate dispositions: %+v", name, res)
+		}
+		if res.Ops+res.Sheds+res.Errors != len(ops) {
+			t.Fatalf("%s: conservation violated: ops=%d sheds=%d errors=%d stream=%d",
+				name, res.Ops, res.Sheds, res.Errors, len(ops))
+		}
+		if res.Hist.Count() != uint64(res.Ops) {
+			t.Fatalf("%s: histogram holds %d samples for %d accepted ops",
+				name, res.Hist.Count(), res.Ops)
+		}
+	}
+}
+
+func TestIsShed(t *testing.T) {
+	if !IsShed(shedErr{}) || !IsShed(fmt.Errorf("wrapped: %w", shedErr{})) {
+		t.Fatal("shed error not recognized")
+	}
+	if IsShed(errors.New("plain")) || IsShed(nil) {
+		t.Fatal("non-shed error recognized as shed")
+	}
 }
 
 // TestGeneratorRace is the -race stress companion: closed and open

@@ -1,0 +1,295 @@
+package net
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// retryLaterError is the client-side face of a MsgRetryLater refusal.
+// It carries the Shed marker the load generators classify on, so shed
+// operations are counted as sheds, not failures or served requests.
+type retryLaterError struct{}
+
+func (retryLaterError) Error() string { return "net: server overloaded, retry later" }
+func (retryLaterError) Shed() bool    { return true }
+
+// ErrRetryLater is returned when the server refused the request under
+// admission control. The request was not executed; retry after
+// backing off. errors.Is-comparable, and recognized by load.IsShed.
+var ErrRetryLater error = retryLaterError{}
+
+// ErrClosed is returned for calls on a closed or failed client.
+var ErrClosed = errors.New("net: client closed")
+
+// Client is one multiplexed connection to a Server: any number of
+// goroutines may issue calls concurrently, each call is matched to its
+// response by request id, and responses may return in any order (the
+// server's coalescer reorders Gets relative to writes). On a transport
+// failure every in-flight and future call fails with the underlying
+// error; the client does not reconnect.
+type Client struct {
+	nc net.Conn
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf bytes.Buffer
+
+	mu      sync.Mutex
+	waiters map[uint64]chan *Msg
+	failErr error // non-nil once the client has failed or closed
+
+	nextID     atomic.Uint64
+	readerDone chan struct{}
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{nc: nc, waiters: map[uint64]chan *Msg{}, readerDone: make(chan struct{})}
+	go c.reader()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+// The reader goroutine is joined before Close returns.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	<-c.readerDone
+	return nil
+}
+
+// fail marks the client dead (first error wins), severs the socket,
+// and wakes every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.failErr == nil {
+		c.failErr = err
+	}
+	waiters := c.waiters
+	c.waiters = map[uint64]chan *Msg{}
+	c.mu.Unlock()
+	_ = c.nc.Close()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// reader dispatches response frames to their waiters until the stream
+// ends. An unmatched response id (a waiter that already failed) is
+// dropped.
+func (c *Client) reader() {
+	defer close(c.readerDone)
+	var scratch []byte
+	for {
+		m, sc, err := readMsg(c.nc, scratch)
+		if err != nil {
+			c.fail(fmt.Errorf("net: connection lost: %w", err))
+			return
+		}
+		scratch = sc
+		c.mu.Lock()
+		ch, ok := c.waiters[m.ID]
+		if ok {
+			delete(c.waiters, m.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m // buffered (cap 1): never blocks
+		}
+	}
+}
+
+// call sends one request and waits for its response.
+func (c *Client) call(m *Msg) (*Msg, error) {
+	m.ID = c.nextID.Add(1)
+	ch := make(chan *Msg, 1)
+	c.mu.Lock()
+	if c.failErr != nil {
+		err := c.failErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.waiters[m.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeMsg(c.nc, &c.wbuf, m)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("net: write failed: %w", err))
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.failErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	switch resp.Type {
+	case MsgRetryLater:
+		return nil, ErrRetryLater
+	case MsgError:
+		return nil, fmt.Errorf("net: server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Get returns the live payload for key, or found=false when absent.
+func (c *Client) Get(key core.Key) (val uint64, found bool, err error) {
+	resp, err := c.call(&Msg{Type: MsgGet, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	if resp.Type != MsgValue {
+		return 0, false, fmt.Errorf("net: unexpected response type %d to Get", resp.Type)
+	}
+	return resp.Val, resp.Found, nil
+}
+
+// GetBatch fills out[i] with the payload of keys[i] (0 when absent)
+// and returns the number found — the serve.Store batch contract, over
+// the wire as one request frame.
+func (c *Client) GetBatch(keys []core.Key, out []uint64) (int, error) {
+	if len(out) < len(keys) {
+		return 0, errors.New("net: GetBatch output shorter than key batch")
+	}
+	if len(keys) > MaxBatch {
+		return 0, fmt.Errorf("net: batch of %d keys exceeds limit %d", len(keys), MaxBatch)
+	}
+	resp, err := c.call(&Msg{Type: MsgGetBatch, Keys: keys})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != MsgValueBatch || len(resp.Vals) != len(keys) {
+		return 0, fmt.Errorf("net: malformed batch response (type %d, %d vals for %d keys)",
+			resp.Type, len(resp.Vals), len(keys))
+	}
+	copy(out, resp.Vals)
+	return int(resp.FoundN), nil
+}
+
+// Put inserts or updates key.
+func (c *Client) Put(key core.Key, val uint64) error {
+	return c.expectOK(&Msg{Type: MsgPut, Key: key, Val: val})
+}
+
+// Delete removes key (a no-op for absent keys, as in the store).
+func (c *Client) Delete(key core.Key) error {
+	return c.expectOK(&Msg{Type: MsgDelete, Key: key})
+}
+
+func (c *Client) expectOK(m *Msg) error {
+	resp, err := c.call(m)
+	if err != nil {
+		return err
+	}
+	if resp.Type != MsgOK {
+		return fmt.Errorf("net: unexpected response type %d to write", resp.Type)
+	}
+	return nil
+}
+
+// Stats fetches the server's live counters and latency histogram.
+// Stats requests bypass the server's admission control, so monitoring
+// works during overload.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.call(&Msg{Type: MsgStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgStatsReply || resp.Stats == nil {
+		return nil, fmt.Errorf("net: unexpected response type %d to Stats", resp.Type)
+	}
+	return resp.Stats, nil
+}
+
+// Pool is a fixed set of client connections striped round-robin per
+// call. It satisfies load.Target and load.ErrTarget, so the open- and
+// closed-loop generators can drive a remote store exactly as they
+// drive an in-process one — with sheds surfacing as ErrRetryLater
+// through the Try methods.
+type Pool struct {
+	cs   []*Client
+	next atomic.Uint64
+}
+
+// DialPool opens n connections to addr. On any dial failure the
+// already-opened connections are closed.
+func DialPool(addr string, n int) (*Pool, error) {
+	if n <= 0 {
+		n = 1
+	}
+	p := &Pool{cs: make([]*Client, n)}
+	for i := range p.cs {
+		c, err := Dial(addr)
+		if err != nil {
+			for _, prev := range p.cs[:i] {
+				_ = prev.Close()
+			}
+			return nil, err
+		}
+		p.cs[i] = c
+	}
+	return p, nil
+}
+
+// Close closes every connection of the pool.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.cs {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (p *Pool) pick() *Client {
+	return p.cs[p.next.Add(1)%uint64(len(p.cs))]
+}
+
+// Stats fetches a stats snapshot through one pooled connection.
+func (p *Pool) Stats() (*Stats, error) { return p.cs[0].Stats() }
+
+// TryGet, TryGetBatch, and TryPut implement load.ErrTarget.
+func (p *Pool) TryGet(key core.Key) (uint64, bool, error) { return p.pick().Get(key) }
+
+func (p *Pool) TryGetBatch(keys []core.Key, out []uint64) (int, error) {
+	return p.pick().GetBatch(keys, out)
+}
+
+func (p *Pool) TryPut(key core.Key, val uint64) error { return p.pick().Put(key, val) }
+
+// Get, GetBatch, and Put complete the load.Target surface. The
+// generators never reach them on an ErrTarget (they prefer the Try
+// variants); for direct callers they degrade errors to zero values —
+// use the Try variants or Client when the error matters.
+func (p *Pool) Get(key core.Key) (uint64, bool) {
+	v, ok, err := p.TryGet(key)
+	if err != nil {
+		return 0, false
+	}
+	return v, ok
+}
+
+func (p *Pool) GetBatch(keys []core.Key, out []uint64) int {
+	n, err := p.TryGetBatch(keys, out)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func (p *Pool) Put(key core.Key, val uint64) {
+	_ = p.TryPut(key, val)
+}

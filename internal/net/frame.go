@@ -1,0 +1,264 @@
+// Package net is the network serving front end: a TCP server that
+// fronts a serve.Store behind a length-prefixed binary frame protocol,
+// and the matching client. The server coalesces concurrent point
+// lookups into single GetBatch rounds against the store (the batched
+// fast path built in the serving layer), applies admission control
+// with explicit backpressure — a bounded request queue that sheds with
+// a RetryLater response instead of queueing without bound — and ships
+// its live latency histogram and queue/shed counters to any client in
+// one stats frame. See DESIGN.md "Network serving".
+//
+// Wire format: every message travels as one binio framed message
+// (u32 length | body | u64 CRC64 of the body). The body is a binio
+// little-endian encoding of one Msg: a type byte, a request id the
+// client uses to match responses to in-flight calls (responses may
+// arrive out of order: coalescing reorders Gets relative to writes),
+// and the type's fields. Corrupt frames are errors that sever the
+// connection, never panics — the decoder runs under the same bounded
+// Reader contract as the persistence subsystem, and FuzzFrame holds it
+// there.
+package net
+
+import (
+	"bytes"
+	"io"
+
+	"repro/internal/binio"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+const (
+	// MaxFrameBody bounds any frame body on the wire; a peer claiming
+	// more is corrupt (or hostile) and is disconnected.
+	MaxFrameBody = 1 << 20
+
+	// MaxBatch bounds the key count of one GetBatch request — the
+	// largest count whose request and response frames both fit
+	// MaxFrameBody with room to spare.
+	MaxBatch = 1 << 16
+
+	// maxErrLen bounds an error string on the wire.
+	maxErrLen = 4096
+)
+
+// Message types. Requests flow client→server, responses server→client.
+const (
+	MsgGet        uint8 = iota + 1 // point lookup: Key
+	MsgGetBatch                    // batched lookup: Keys
+	MsgPut                         // insert/update: Key, Val
+	MsgDelete                      // delete: Key
+	MsgStats                       // server stats snapshot request
+	MsgValue                       // Get response: Val, Found
+	MsgValueBatch                  // GetBatch response: Vals, FoundN
+	MsgOK                          // Put/Delete ack
+	MsgRetryLater                  // admission refusal: retry later
+	MsgError                       // request failed server-side: Err
+	MsgStatsReply                  // stats response: Stats
+	msgTypeEnd                     // sentinel: first invalid type
+)
+
+// Msg is one protocol message; Type selects which fields are
+// meaningful. One struct for all types keeps encode/decode and the
+// fuzz surface in one place — the protocol has eleven small shapes,
+// not eleven packages.
+type Msg struct {
+	Type   uint8
+	ID     uint64
+	Key    core.Key
+	Val    uint64
+	Found  bool
+	Keys   []core.Key // MsgGetBatch
+	Vals   []uint64   // MsgValueBatch
+	FoundN uint32     // MsgValueBatch: number of keys found
+	Err    string     // MsgError
+	Stats  *Stats     // MsgStatsReply
+}
+
+// Stats is the server's live counter snapshot, shipped in a stats
+// frame. Counters are cumulative since server start; QueueDepth is
+// instantaneous.
+type Stats struct {
+	Conns         uint64 // live connections
+	Accepted      uint64 // requests admitted past admission control
+	Shed          uint64 // requests refused with RetryLater
+	ShedConns     uint64 // connections refused at accept (MaxConns)
+	DroppedConns  uint64 // connections severed for not draining responses
+	Batches       uint64 // coalesced GetBatch rounds executed
+	BatchedKeys   uint64 // point lookups served through those rounds
+	QueueDepth    uint64 // admission-queue occupancy now
+	MaxQueueDepth uint64 // high-water admission-queue occupancy
+
+	// Latency is the server-side service-time histogram (ns): frame
+	// decode to response enqueue, per accepted request.
+	Latency *stats.Histogram
+}
+
+// encodeMsg appends m's body encoding to buf (reset first) and returns
+// the body bytes.
+func encodeMsg(buf *bytes.Buffer, m *Msg) ([]byte, error) {
+	buf.Reset()
+	w := binio.NewWriter(buf)
+	w.U8(m.Type)
+	w.U64(m.ID)
+	switch m.Type {
+	case MsgGet:
+		w.U64(uint64(m.Key))
+	case MsgGetBatch:
+		w.U32(uint32(len(m.Keys)))
+		for _, k := range m.Keys {
+			w.U64(uint64(k))
+		}
+	case MsgPut:
+		w.U64(uint64(m.Key))
+		w.U64(m.Val)
+	case MsgDelete:
+		w.U64(uint64(m.Key))
+	case MsgStats, MsgOK, MsgRetryLater:
+		// header only
+	case MsgValue:
+		w.U64(m.Val)
+		found := uint8(0)
+		if m.Found {
+			found = 1
+		}
+		w.U8(found)
+	case MsgValueBatch:
+		w.U32(m.FoundN)
+		w.U32(uint32(len(m.Vals)))
+		for _, v := range m.Vals {
+			w.U64(v)
+		}
+	case MsgError:
+		w.Str(m.Err)
+	case MsgStatsReply:
+		s := m.Stats
+		w.U64(s.Conns)
+		w.U64(s.Accepted)
+		w.U64(s.Shed)
+		w.U64(s.ShedConns)
+		w.U64(s.DroppedConns)
+		w.U64(s.Batches)
+		w.U64(s.BatchedKeys)
+		w.U64(s.QueueDepth)
+		w.U64(s.MaxQueueDepth)
+		s.Latency.EncodeTo(w)
+	default:
+		return nil, binio.Corruptf("encode: unknown message type %d", m.Type)
+	}
+	if w.Err() != nil {
+		return nil, w.Err()
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeMsg parses one message body. The returned Msg owns its memory:
+// slices and strings are copied out of body, which the transport
+// reuses for the next frame. Every count is bounds-checked through the
+// binio Reader before it sizes an allocation.
+func decodeMsg(body []byte) (*Msg, error) {
+	r := binio.NewReader(body)
+	m := &Msg{Type: r.U8(), ID: r.U64()}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if m.Type == 0 || m.Type >= msgTypeEnd {
+		return nil, binio.Corruptf("decode: unknown message type %d", m.Type)
+	}
+	switch m.Type {
+	case MsgGet, MsgDelete:
+		m.Key = core.Key(r.U64())
+	case MsgGetBatch:
+		n := r.Count(8)
+		if n > MaxBatch {
+			return nil, binio.Corruptf("batch of %d keys exceeds limit %d", n, MaxBatch)
+		}
+		m.Keys = make([]core.Key, n)
+		for i := range m.Keys {
+			m.Keys[i] = core.Key(r.U64())
+		}
+	case MsgPut:
+		m.Key = core.Key(r.U64())
+		m.Val = r.U64()
+	case MsgStats, MsgOK, MsgRetryLater:
+		// header only
+	case MsgValue:
+		m.Val = r.U64()
+		switch r.U8() {
+		case 0:
+		case 1:
+			m.Found = true
+		default:
+			if r.Err() == nil {
+				return nil, binio.Corruptf("found flag out of range")
+			}
+		}
+	case MsgValueBatch:
+		m.FoundN = r.U32()
+		n := r.Count(8)
+		if n > MaxBatch {
+			return nil, binio.Corruptf("batch of %d values exceeds limit %d", n, MaxBatch)
+		}
+		if int(m.FoundN) > n {
+			return nil, binio.Corruptf("found count %d exceeds batch %d", m.FoundN, n)
+		}
+		m.Vals = make([]uint64, n)
+		for i := range m.Vals {
+			m.Vals[i] = r.U64()
+		}
+	case MsgError:
+		m.Err = r.Str(maxErrLen)
+	case MsgStatsReply:
+		s := &Stats{
+			Conns:         r.U64(),
+			Accepted:      r.U64(),
+			Shed:          r.U64(),
+			ShedConns:     r.U64(),
+			DroppedConns:  r.U64(),
+			Batches:       r.U64(),
+			BatchedKeys:   r.U64(),
+			QueueDepth:    r.U64(),
+			MaxQueueDepth: r.U64(),
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		h, err := stats.DecodeHistogram(r)
+		if err != nil {
+			return nil, err
+		}
+		s.Latency = h
+		m.Stats = s
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, binio.Corruptf("%d trailing bytes after message", r.Remaining())
+	}
+	return m, nil
+}
+
+// writeMsg encodes m and writes it as one framed message, using buf as
+// the encode scratch. Callers serialize access to (w, buf).
+func writeMsg(w io.Writer, buf *bytes.Buffer, m *Msg) error {
+	body, err := encodeMsg(buf, m)
+	if err != nil {
+		return err
+	}
+	return binio.WriteFramed(w, body)
+}
+
+// readMsg reads and decodes one framed message, reusing scratch; it
+// returns the (possibly grown) scratch for the next call.
+func readMsg(r io.Reader, scratch []byte) (*Msg, []byte, error) {
+	body, err := binio.ReadFramed(r, scratch, MaxFrameBody)
+	if err != nil {
+		return nil, scratch, err
+	}
+	m, err := decodeMsg(body)
+	if cap(body) > cap(scratch) {
+		scratch = body[:cap(body)]
+	}
+	return m, scratch, err
+}

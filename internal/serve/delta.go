@@ -223,6 +223,26 @@ func (s *shardState) getBatch(keys []core.Key, out []uint64) int {
 	return found
 }
 
+// getBatchFound is getBatch plus per-key found bits, resolved against
+// this same shard snapshot: out alone cannot distinguish a zero payload
+// from absence. Only zero out-values need the extra probe — a nonzero
+// payload is proof of presence.
+func (s *shardState) getBatchFound(keys []core.Key, out []uint64, found []bool) int {
+	n := s.getBatch(keys, out)
+	for i, x := range keys {
+		if out[i] != 0 {
+			found[i] = true
+			continue
+		}
+		if _, tomb, ok := s.pending(x); ok {
+			found[i] = !tomb // a pending non-tombstone zero is present
+		} else {
+			_, found[i] = s.tab.Get(x)
+		}
+	}
+	return n
+}
+
 // scan visits the shard's live pairs with key in [lo, hi) in ascending
 // order: a three-way merge of active delta, frozen delta, and base
 // table with precedence active > frozen > base and tombstones dropping

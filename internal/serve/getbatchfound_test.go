@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGetBatchFound holds the per-key found bits to the Get oracle
+// across the cases where out alone is ambiguous: zero payloads (base
+// and delta), tombstones over base keys, fresh delta inserts, and
+// absent keys — before and after compaction.
+func TestGetBatchFound(t *testing.T) {
+	keys, payloads := testData(t, 4000)
+	// Zero payloads in the base on purpose: every 7th key.
+	for i := 0; i < len(payloads); i += 7 {
+		payloads[i] = 0
+	}
+	st, err := New(keys, payloads, Config{Shards: 4, Family: "PGM", CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	var fresh []core.Key
+	for i := 0; i < 200; i++ {
+		k := keys[rng.Intn(len(keys))] + 1
+		st.Put(k, uint64(i%3)) // zeros among the delta inserts too
+		fresh = append(fresh, k)
+	}
+	for i := 0; i < len(keys); i += 11 {
+		st.Delete(keys[i]) // tombstones over base keys
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		var probes []core.Key
+		probes = append(probes, keys[:500]...)
+		probes = append(probes, fresh...)
+		for i := 0; i < 200; i++ {
+			probes = append(probes, core.Key(rng.Uint64()))
+		}
+		out := make([]uint64, len(probes))
+		fbits := make([]bool, len(probes))
+		n := st.GetBatchFound(probes, out, fbits)
+		plain := make([]uint64, len(probes))
+		if m := st.GetBatch(probes, plain); m != n {
+			t.Fatalf("%s: GetBatchFound count %d != GetBatch %d", stage, n, m)
+		}
+		nbits := 0
+		for i, x := range probes {
+			wantV, wantOK := st.Get(x)
+			if out[i] != wantV || fbits[i] != wantOK {
+				t.Fatalf("%s: key %d: batch (%d,%v), Get (%d,%v)", stage, x, out[i], fbits[i], wantV, wantOK)
+			}
+			if fbits[i] {
+				nbits++
+			}
+		}
+		if nbits != n {
+			t.Fatalf("%s: %d found bits set, count says %d", stage, nbits, n)
+		}
+	}
+
+	check("dirty")
+	st.Compact()
+	st.WaitCompactions()
+	check("compacted")
+}

@@ -121,6 +121,7 @@ type job struct {
 	s     *shardState
 	keys  []core.Key
 	out   []uint64
+	fbits []bool // per-key found bits when non-nil (GetBatchFound)
 	found *atomic.Int64
 	wg    *sync.WaitGroup
 }
@@ -131,6 +132,7 @@ type batchScratch struct {
 	starts []int32
 	gkeys  []core.Key
 	gout   []uint64
+	gfound []bool
 	pos    []int32
 }
 
@@ -286,7 +288,11 @@ func (st *Store) buildShard(i int, keys []core.Key, payloads []uint64) (*table.T
 func (st *Store) worker() {
 	defer st.workersWG.Done()
 	for j := range st.jobs {
-		j.found.Add(int64(j.s.getBatch(j.keys, j.out)))
+		if j.fbits != nil {
+			j.found.Add(int64(j.s.getBatchFound(j.keys, j.out, j.fbits)))
+		} else {
+			j.found.Add(int64(j.s.getBatch(j.keys, j.out)))
+		}
 		j.wg.Done()
 	}
 }
@@ -652,10 +658,26 @@ func (st *Store) Compact() error {
 // and scattered back, so a batch touching S shards runs on up to S
 // workers concurrently.
 func (st *Store) GetBatch(keys []core.Key, out []uint64) int {
-	n := len(keys)
-	if len(out) < n {
+	if len(out) < len(keys) {
 		panic("serve: GetBatch output shorter than key batch")
 	}
+	return st.getBatchInto(keys, out, nil)
+}
+
+// GetBatchFound is GetBatch plus an explicit per-key found bit: a zero
+// payload is indistinguishable from absence in out alone, and found[i]
+// is resolved against the same per-shard snapshot as the batch itself —
+// unlike a follow-up Get, it cannot observe a write that landed after
+// the batch was served.
+func (st *Store) GetBatchFound(keys []core.Key, out []uint64, found []bool) int {
+	if len(out) < len(keys) || len(found) < len(keys) {
+		panic("serve: GetBatchFound output shorter than key batch")
+	}
+	return st.getBatchInto(keys, out, found)
+}
+
+func (st *Store) getBatchInto(keys []core.Key, out []uint64, fbits []bool) int {
+	n := len(keys)
 	if n == 0 {
 		return 0
 	}
@@ -695,18 +717,27 @@ func (st *Store) GetBatch(keys []core.Key, out []uint64) int {
 			continue
 		}
 		wg.Add(1)
-		st.jobs <- job{
+		j := job{
 			s:     st.shards[sh].Load(),
 			keys:  s.gkeys[lo:hi],
 			out:   s.gout[lo:hi],
 			found: &found,
 			wg:    &wg,
 		}
+		if fbits != nil {
+			j.fbits = s.gfound[lo:hi]
+		}
+		st.jobs <- j
 	}
 	wg.Wait()
 
 	for i := 0; i < n; i++ {
 		out[i] = s.gout[s.pos[i]]
+	}
+	if fbits != nil {
+		for i := 0; i < n; i++ {
+			fbits[i] = s.gfound[s.pos[i]]
+		}
 	}
 	st.scratch.Put(s)
 	return int(found.Load())
@@ -756,11 +787,13 @@ func (s *batchScratch) ensure(n, nShards int) {
 		s.shard = make([]int32, n)
 		s.gkeys = make([]core.Key, n)
 		s.gout = make([]uint64, n)
+		s.gfound = make([]bool, n)
 		s.pos = make([]int32, n)
 	}
 	s.shard = s.shard[:n]
 	s.gkeys = s.gkeys[:n]
 	s.gout = s.gout[:n]
+	s.gfound = s.gfound[:n]
 	s.pos = s.pos[:n]
 	if cap(s.offs) < nShards+1 {
 		s.offs = make([]int32, nShards+1)
