@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet bench bench-smoke report-smoke race serve serve-write serve-tail serve-net persist fuzz-smoke examples doccheck perfgate perfgate-update
+.PHONY: tier1 vet bench bench-smoke report-smoke race serve serve-write serve-lsm serve-tail serve-net persist fuzz-smoke examples doccheck perfgate perfgate-update
 
 # tier1 is the verify recipe: everything must build and every test pass.
 tier1:
@@ -14,9 +14,12 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGetBatch|BenchmarkServeSharded|BenchmarkServeMixed|BenchmarkTable2' -benchtime 200000x .
 
 # bench-smoke runs every benchmark in the repo exactly once so they
-# cannot bit-rot; no timing value, just the code paths.
+# cannot bit-rot (no timing value, just the code paths), plus a tiny
+# serve-lsm run so the tier-policy sweep exercises flushes and merges
+# end to end.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/sosd -n 20000 -lookups 2000 serve-lsm
 
 # report-smoke produces a machine-readable result artifact from one
 # experiment and validates that it parses as a report document — the
@@ -39,6 +42,12 @@ serve:
 # serve-write prints the mixed read/write experiment at a quick scale.
 serve-write:
 	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-write
+
+# serve-lsm prints the tiered-run write-path experiment (tier policy x
+# family over YCSB A/B: throughput, read p99, compaction cost, read
+# amplification) at a quick scale.
+serve-lsm:
+	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-lsm
 
 # serve-tail prints the tail-latency experiment (closed vs open loop,
 # p50..p99.9 per family x workload x arrival rate) at a quick scale.

@@ -1,0 +1,166 @@
+package bench
+
+// The tiered-run (LSM) write-path experiment: the serve-write
+// experiment measures the single-store compaction tradeoff; this one
+// sweeps the tiering policy itself. A frozen delta can flush into a
+// small tier run (cheap, but every read now probes more runs) or merge
+// into the base index (expensive for learned families, which re-tune
+// the model). The policy axis — single-run versus tiered at different
+// run bounds — makes the compaction-cost-versus-read-amplification
+// tradeoff a table: write throughput and compaction time fall as runs
+// stack, read p99 and measured read amplification rise, and the
+// re-tune-aware merge policy sits between the extremes.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/load"
+	"repro/internal/registry"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+func init() {
+	Register(Experiment{"serve-lsm", "tiered-run write path: tier policy sweep over YCSB mixes", serveLSMSweep})
+}
+
+// TierPolicy is one point on the experiment's policy axis.
+type TierPolicy struct {
+	Name     string
+	MaxRuns  int     // serve.Config.MaxRuns (1 = classic single-run)
+	AmpBound float64 // serve.Config.AmpBound (0 = default)
+}
+
+// TierPolicies lists the swept write-path policies: the single-run
+// baseline (every compaction re-tunes the shard index) and tiered
+// variants at a tight and a loose run bound.
+func TierPolicies() []TierPolicy {
+	return []TierPolicy{
+		{"single", 1, 0},
+		{"tier4", 4, 0},
+		{"tier8", 8, 0},
+	}
+}
+
+// LSMResult summarizes one tiered mixed-workload run.
+type LSMResult struct {
+	OpsPerSec        float64
+	WriteNs          float64 // mean write latency
+	ReadP50, ReadP99 int64   // read latency quantiles (ns)
+	CompactTime      time.Duration
+	ReadAmp          float64 // measured run probes per multi-run lookup
+	MaxRuns          int     // widest shard at run end
+	Flushes          uint64
+	MinorMerges      uint64
+	MajorMerges      uint64
+}
+
+// MeasureLSM drives the load.MixedOps stream (the serve-write stream,
+// kept identical so policies are comparable) against st, recording
+// every read latency in a histogram for tail quantiles.
+func MeasureLSM(e *Env, st *serve.Store, ops int, wl MixedWorkload, seed uint64) LSMResult {
+	theta := 0.0
+	if wl.Zipfian {
+		theta = YCSBTheta
+	}
+	stream := load.MixedOps(e.Keys, ops, wl.ReadFrac, theta, seed)
+
+	var res LSMResult
+	var hist stats.Histogram
+	baseCompactTime := st.CompactTime()
+	var writeTime time.Duration
+	writes := 0
+	var sink uint64
+	start := time.Now()
+	for _, op := range stream {
+		switch op.Kind {
+		case load.Get:
+			t0 := time.Now()
+			v, _ := st.Get(op.Key)
+			hist.Record(time.Since(t0).Nanoseconds())
+			sink += v
+		case load.Put:
+			t0 := time.Now()
+			st.Put(op.Key, op.Payload)
+			writeTime += time.Since(t0)
+			writes++
+		}
+	}
+	elapsed := time.Since(start)
+	res.MaxRuns = st.MaxRunCount() // at load stop, before the drain merges
+	st.WaitCompactions()
+	_ = sink
+	res.OpsPerSec = float64(ops) / elapsed.Seconds()
+	if writes > 0 {
+		res.WriteNs = float64(writeTime.Nanoseconds()) / float64(writes)
+	}
+	res.ReadP50 = hist.Quantile(0.50)
+	res.ReadP99 = hist.Quantile(0.99)
+	res.CompactTime = st.CompactTime() - baseCompactTime
+	res.ReadAmp = st.ReadAmp()
+	res.Flushes = st.Flushes()
+	res.MinorMerges = st.MinorMerges()
+	res.MajorMerges = st.MajorMerges()
+	return res
+}
+
+// serveLSMSweep reports the tier-policy experiment: policy × family
+// over zipfian YCSB A (write-heavy) and B (read-heavy).
+func serveLSMSweep(r *Run) ([]report.Table, error) {
+	o := r.Options
+	e, err := r.Env(dataset.Amzn)
+	if err != nil {
+		return nil, err
+	}
+	ops := o.Lookups
+	const shards = 4
+	threshold := ops / 32
+	if threshold < 64 {
+		threshold = 64
+	}
+	families := r.Families(registry.WriteFamilies)
+	workloads := []MixedWorkload{
+		{"A", 0.50, true},
+		{"B", 0.95, true},
+	}
+
+	tbl := report.New("serve-lsm",
+		fmt.Sprintf("Tiered-run write path (amzn, zipfian YCSB, %d shards, compact threshold %d): policy vs compaction cost vs read amplification",
+			shards, threshold)).
+		Dims("index", "wl", "policy").
+		Float("kops/s", "kops/s", 1).
+		Float("write(ns)", "ns", 1).
+		Float("readp50", "µs", 2).
+		Float("readp99", "µs", 2).
+		Float("cmp(ms)", "ms", 2).
+		Float("readamp", "probes/op", 2).
+		Int("runs", "max runs").
+		Int("flush", "flushes").
+		Int("minor", "minor merges").
+		Int("major", "major merges")
+	for _, family := range families {
+		for _, wl := range workloads {
+			for _, pol := range TierPolicies() {
+				st, err := serve.New(e.Keys, e.Payloads, serve.Config{
+					Shards: shards, Family: family, CompactThreshold: threshold,
+					MaxRuns: pol.MaxRuns, AmpBound: pol.AmpBound,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res := MeasureLSM(e, st, ops, wl, o.Seed)
+				tbl.Row([]string{family, wl.Name, pol.Name},
+					res.OpsPerSec/1e3, res.WriteNs,
+					float64(res.ReadP50)/1e3, float64(res.ReadP99)/1e3,
+					float64(res.CompactTime.Nanoseconds())/1e6, res.ReadAmp,
+					float64(res.MaxRuns), float64(res.Flushes),
+					float64(res.MinorMerges), float64(res.MajorMerges))
+				st.Close()
+			}
+		}
+	}
+	return []report.Table{*tbl}, nil
+}

@@ -145,6 +145,12 @@ func TestServeWriteSweepEndToEnd(t *testing.T) {
 		"Mixed read/write", "threshold sweep", "RMI", "PGM", "BTree", "zipf", "unif")
 }
 
+func TestServeLSMSweepEndToEnd(t *testing.T) {
+	runExperiment(t, "serve-lsm",
+		"Tiered-run write path", "readamp", "readp99", "single", "tier4", "tier8",
+		"RMI", "PGM", "BTree")
+}
+
 // TestFamilyDatasetFilters exercises the -families/-datasets options
 // on a sweep experiment: only the requested rows may appear.
 func TestFamilyDatasetFilters(t *testing.T) {

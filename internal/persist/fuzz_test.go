@@ -171,8 +171,13 @@ func FuzzManifest(f *testing.F) {
 	m := &Manifest{
 		Family: "PGM",
 		Shards: []ShardMeta{
-			{Sep: 0, Codec: "PGM/eps=64", Table: "shard-0000.tab", Index: "shard-0000.idx", WAL: "shard-0000.wal"},
-			{Sep: 9999, Codec: "PGM/eps=64", Table: "shard-0001.tab", WAL: "shard-0001.wal"},
+			{Sep: 0, Codec: "PGM/eps=64", WAL: "shard-0000.wal", Runs: []RunMeta{
+				{Codec: "PGM/eps=64", Table: "shard-0000-r00.tab", Index: "shard-0000-r00.idx"},
+				{Codec: "BS", Table: "shard-0000-r01.tab", Tombs: "shard-0000-r01.tmb"},
+			}},
+			{Sep: 9999, Codec: "PGM/eps=64", WAL: "shard-0001.wal", Runs: []RunMeta{
+				{Codec: "PGM/eps=64", Table: "shard-0001-r00.tab"},
+			}},
 		},
 	}
 	var buf bytes.Buffer
@@ -180,7 +185,7 @@ func FuzzManifest(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
-	f.Add([]byte("sosdMAN1"))
+	f.Add([]byte("sosdMAN2"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := DecodeManifest(data)
 		if err != nil {
@@ -192,6 +197,32 @@ func FuzzManifest(f *testing.F) {
 		}
 		if !bytes.Equal(re.Bytes(), data) {
 			t.Fatalf("manifest round-trip not byte-identical")
+		}
+	})
+}
+
+// FuzzTombs feeds arbitrary bytes to the tombstone-bit decoder at a
+// few plausible run sizes.
+func FuzzTombs(f *testing.F) {
+	tombs := make([]bool, 37)
+	for i := range tombs {
+		tombs[i] = i%3 == 0
+	}
+	var buf bytes.Buffer
+	if err := EncodeTombs(binio.NewWriter(&buf), tombs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("sosdTMB1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, count := range []int{0, 1, 37, 64, 4096} {
+			got, err := DecodeTombs(data, count)
+			if err != nil {
+				continue
+			}
+			if len(got) != count {
+				t.Fatalf("decoded %d bits for count %d", len(got), count)
+			}
 		}
 	})
 }
@@ -250,10 +281,23 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	write("FuzzTable", "trunc", tab[:5000])
 
 	var mbuf bytes.Buffer
-	m := &Manifest{Family: "RMI", Shards: []ShardMeta{{Sep: 0, Codec: "RMI/rmi[linear,linear,B=64]", Table: "shard-0000.tab", Index: "shard-0000.idx", WAL: "shard-0000.wal"}}}
+	m := &Manifest{Family: "RMI", Shards: []ShardMeta{{Sep: 0, Codec: "RMI/rmi[linear,linear,B=64]", WAL: "shard-0000.wal", Runs: []RunMeta{
+		{Codec: "RMI/rmi[linear,linear,B=64]", Table: "shard-0000-r00.tab", Index: "shard-0000-r00.idx"},
+		{Codec: "BS", Table: "shard-0000-r01.tab", Tombs: "shard-0000-r01.tmb"},
+	}}}}
 	if err := EncodeManifest(binio.NewWriter(&mbuf), m); err != nil {
 		t.Fatal(err)
 	}
 	write("FuzzManifest", "clean", mbuf.Bytes())
+
+	var tbuf bytes.Buffer
+	tombs := make([]bool, 37)
+	for i := range tombs {
+		tombs[i] = i%3 == 0
+	}
+	if err := EncodeTombs(binio.NewWriter(&tbuf), tombs); err != nil {
+		t.Fatal(err)
+	}
+	write("FuzzTombs", "clean", tbuf.Bytes())
 	fmt.Println("fuzz corpus regenerated")
 }

@@ -1,11 +1,13 @@
 package persist
 
 // The snapshot manifest: the root artifact of a store snapshot,
-// naming every shard's boundary separator, its codec tag (the
-// deterministic registry config ID that built its index), and its
-// table/index/WAL file names. The manifest rename is the snapshot's
-// commit point — shard files are written first, so a crash anywhere
-// leaves either the complete old snapshot or the complete new one.
+// naming every shard's boundary separator, its builder codec tag (the
+// deterministic registry config ID that built its base index), its WAL
+// file, and its ordered run list — the LSM tier set, oldest (base) run
+// first, each run a table/index/tombstone file triple. The manifest
+// rename is the snapshot's commit point — shard and run files are
+// written first, so a crash anywhere leaves either the complete old
+// snapshot or the complete new one.
 
 import (
 	"os"
@@ -14,26 +16,44 @@ import (
 	"repro/internal/core"
 )
 
-var manifestMagic = []byte("sosdMAN1")
+var manifestMagic = []byte("sosdMAN2")
 
 // ManifestName is the manifest's file name inside a snapshot directory.
 const ManifestName = "MANIFEST"
+
+// RunMeta describes one persisted sorted run of a shard's tier set.
+type RunMeta struct {
+	// Codec is the registry config ID ("family" or "family/label") of
+	// the builder that produced the run's index. Its family part
+	// selects the decode codec; the label lets a rebuild re-select the
+	// exact catalog entry.
+	Codec string
+	// Table, Index and Tombs are file names inside the snapshot
+	// directory. Index is empty when the run has no encodable index
+	// (no registered codec, or an empty table) and must be rebuilt
+	// from the loaded keys; Tombs is empty when the run carries no
+	// tombstones.
+	Table, Index, Tombs string
+}
 
 // ShardMeta describes one persisted shard.
 type ShardMeta struct {
 	// Sep is the first key owned by the shard (the store's boundary
 	// metadata, identical to serve.Store's separator array).
 	Sep core.Key
-	// Codec is the registry config ID ("family" or "family/label") of
-	// the builder that produced the shard's index. Its family part
-	// selects the decode codec; the label lets a rebuild re-select the
-	// exact catalog entry.
+	// Codec is the registry config ID of the shard's base-index
+	// builder — the identity a rebuild or re-tune starts from. It
+	// normally equals Runs[0].Codec; they differ only when the base
+	// index was rebuilt under a configuration the catalog no longer
+	// produces.
 	Codec string
-	// Table, Index and WAL are file names inside the snapshot
-	// directory. Index is empty when the shard has no encodable index
-	// (no registered codec, or an empty table) and must be rebuilt
-	// from the loaded keys.
-	Table, Index, WAL string
+	// WAL is the shard's write-ahead-log file name inside the snapshot
+	// directory.
+	WAL string
+	// Runs is the shard's tier set, oldest run first: Runs[0] is the
+	// base run (never tombstoned), later runs are newer and shadow
+	// earlier ones. Every shard has at least the base run.
+	Runs []RunMeta
 }
 
 // Manifest is a complete snapshot description.
@@ -48,9 +68,12 @@ type Manifest struct {
 	Shards []ShardMeta
 }
 
-// minShardWire is the smallest possible encoded shard entry, used as
-// the allocation guard for the shard count.
-const minShardWire = 8 + 4*4
+// minShardWire and minRunWire are the smallest possible encoded shard
+// and run entries, used as allocation guards for the two counts.
+const (
+	minShardWire = 8 + 4 + 4 + 4 + minRunWire
+	minRunWire   = 4 * 4
+)
 
 // EncodeManifest writes the manifest with the standard frame: magic,
 // version, body, trailing CRC64.
@@ -63,9 +86,14 @@ func EncodeManifest(w *binio.Writer, m *Manifest) error {
 	for _, s := range m.Shards {
 		w.U64(s.Sep)
 		w.Str(s.Codec)
-		w.Str(s.Table)
-		w.Str(s.Index)
 		w.Str(s.WAL)
+		w.U32(uint32(len(s.Runs)))
+		for _, run := range s.Runs {
+			w.Str(run.Codec)
+			w.Str(run.Table)
+			w.Str(run.Index)
+			w.Str(run.Tombs)
+		}
 	}
 	w.U64(w.Sum64())
 	return w.Err()
@@ -98,9 +126,22 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 		s := &m.Shards[i]
 		s.Sep = r.U64()
 		s.Codec = r.Str(maxTagLen)
-		s.Table = r.Str(maxTagLen)
-		s.Index = r.Str(maxTagLen)
 		s.WAL = r.Str(maxTagLen)
+		nr := r.Count(minRunWire)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if nr < 1 {
+			return nil, binio.Corruptf("persist: shard %d has no runs", i)
+		}
+		s.Runs = make([]RunMeta, nr)
+		for j := range s.Runs {
+			run := &s.Runs[j]
+			run.Codec = r.Str(maxTagLen)
+			run.Table = r.Str(maxTagLen)
+			run.Index = r.Str(maxTagLen)
+			run.Tombs = r.Str(maxTagLen)
+		}
 	}
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -113,12 +154,24 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 		if i > 0 && s.Sep <= m.Shards[i-1].Sep {
 			return nil, binio.Corruptf("persist: shard separators not increasing at %d", i)
 		}
-		if s.Table == "" || s.WAL == "" {
-			return nil, binio.Corruptf("persist: shard %d missing table or wal file name", i)
+		if s.WAL == "" {
+			return nil, binio.Corruptf("persist: shard %d missing wal file name", i)
 		}
-		for _, name := range []string{s.Table, s.Index, s.WAL} {
-			if !safeFileName(name) {
-				return nil, binio.Corruptf("persist: shard %d file name %q escapes the snapshot directory", i, name)
+		if !safeFileName(s.WAL) {
+			return nil, binio.Corruptf("persist: shard %d file name %q escapes the snapshot directory", i, s.WAL)
+		}
+		if s.Runs[0].Tombs != "" {
+			return nil, binio.Corruptf("persist: shard %d base run carries tombstones", i)
+		}
+		for j := range s.Runs {
+			run := &s.Runs[j]
+			if run.Table == "" {
+				return nil, binio.Corruptf("persist: shard %d run %d missing table file name", i, j)
+			}
+			for _, name := range []string{run.Table, run.Index, run.Tombs} {
+				if !safeFileName(name) {
+					return nil, binio.Corruptf("persist: shard %d file name %q escapes the snapshot directory", i, name)
+				}
 			}
 		}
 	}
@@ -129,7 +182,7 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 // point the loader outside its own directory.
 func safeFileName(name string) bool {
 	if name == "" {
-		return true // empty index name = rebuild marker
+		return true // empty index/tombs name = rebuild / no-tombstones marker
 	}
 	if name == "." || name == ".." {
 		return false

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/binio"
@@ -268,8 +269,13 @@ func TestManifestRoundTrip(t *testing.T) {
 		Family: "PGM",
 		Gen:    7,
 		Shards: []ShardMeta{
-			{Sep: 0, Codec: "PGM/eps=64", Table: "shard-0000-g000007.tab", Index: "shard-0000-g000007.idx", WAL: "shard-0000-g000007.wal"},
-			{Sep: 1000, Codec: "PGM/eps=64", Table: "shard-0001-g000007.tab", Index: "", WAL: "shard-0001-g000007.wal"},
+			{Sep: 0, Codec: "PGM/eps=64", WAL: "shard-0000-g000007.wal", Runs: []RunMeta{
+				{Codec: "PGM/eps=64", Table: "shard-0000-g000007-r00.tab", Index: "shard-0000-g000007-r00.idx"},
+				{Codec: "BS", Table: "shard-0000-g000007-r01.tab", Tombs: "shard-0000-g000007-r01.tmb"},
+			}},
+			{Sep: 1000, Codec: "PGM/eps=64", WAL: "shard-0001-g000007.wal", Runs: []RunMeta{
+				{Codec: "PGM/eps=64", Table: "shard-0001-g000007-r00.tab"},
+			}},
 		},
 	}
 	path := filepath.Join(t.TempDir(), ManifestName)
@@ -283,19 +289,23 @@ func TestManifestRoundTrip(t *testing.T) {
 	if got.Family != m.Family || got.Gen != m.Gen || len(got.Shards) != 2 {
 		t.Fatalf("decoded %+v", got)
 	}
-	for i := range m.Shards {
-		if got.Shards[i] != m.Shards[i] {
-			t.Fatalf("shard %d: %+v != %+v", i, got.Shards[i], m.Shards[i])
-		}
+	if !reflect.DeepEqual(got.Shards, m.Shards) {
+		t.Fatalf("shards round-trip diverged:\n got %+v\nwant %+v", got.Shards, m.Shards)
 	}
 }
 
 func TestManifestRejectsTraversalAndDisorder(t *testing.T) {
+	runs := func(rs ...RunMeta) []RunMeta { return rs }
 	bad := []*Manifest{
-		{Family: "PGM", Shards: []ShardMeta{{Sep: 0, Table: "../evil.tab", WAL: "w"}}},
-		{Family: "PGM", Shards: []ShardMeta{{Sep: 0, Table: "t", WAL: "sub/dir.wal"}}},
-		{Family: "PGM", Shards: []ShardMeta{{Sep: 5, Table: "t", WAL: "w"}, {Sep: 5, Table: "t2", WAL: "w2"}}},
-		{Family: "PGM", Shards: []ShardMeta{{Sep: 0, Table: "", WAL: "w"}}},
+		{Family: "PGM", Shards: []ShardMeta{{Sep: 0, WAL: "w", Runs: runs(RunMeta{Table: "../evil.tab"})}}},
+		{Family: "PGM", Shards: []ShardMeta{{Sep: 0, WAL: "sub/dir.wal", Runs: runs(RunMeta{Table: "t"})}}},
+		{Family: "PGM", Shards: []ShardMeta{
+			{Sep: 5, WAL: "w", Runs: runs(RunMeta{Table: "t"})},
+			{Sep: 5, WAL: "w2", Runs: runs(RunMeta{Table: "t2"})}}},
+		{Family: "PGM", Shards: []ShardMeta{{Sep: 0, WAL: "w", Runs: runs(RunMeta{Table: ""})}}},
+		{Family: "PGM", Shards: []ShardMeta{{Sep: 0, WAL: "w"}}},                                                // no runs
+		{Family: "PGM", Shards: []ShardMeta{{Sep: 0, WAL: "w", Runs: runs(RunMeta{Table: "t", Tombs: "tm"})}}}, // tombed base
+		{Family: "PGM", Shards: []ShardMeta{{Sep: 0, WAL: "w", Runs: runs(RunMeta{Table: "t"}, RunMeta{Table: "t2", Tombs: "..\\tm"})}}},
 	}
 	for i, m := range bad {
 		var buf bytes.Buffer
@@ -308,8 +318,49 @@ func TestManifestRejectsTraversalAndDisorder(t *testing.T) {
 	}
 }
 
+func TestTombsRoundTripAndRejects(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 1000} {
+		tombs := make([]bool, n)
+		for i := range tombs {
+			tombs[i] = i%5 == 0 || i == n-1
+		}
+		path := filepath.Join(t.TempDir(), "run.tmb")
+		if err := WriteTombs(path, tombs); err != nil {
+			t.Fatalf("n=%d write: %v", n, err)
+		}
+		got, err := ReadTombs(path, n)
+		if err != nil {
+			t.Fatalf("n=%d read: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, tombs) {
+			t.Fatalf("n=%d round trip diverged", n)
+		}
+		// A count mismatch is corruption, not silent truncation.
+		if _, err := ReadTombs(path, n+1); !errors.Is(err, binio.ErrCorrupt) {
+			t.Fatalf("n=%d count mismatch: err = %v, want ErrCorrupt", n, err)
+		}
+		if n == 0 {
+			continue
+		}
+		// Every single-bit flip must be detected (CRC frame), and
+		// nonzero padding bits past count must be rejected.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := 0; pos < len(data); pos++ {
+			mut := append([]byte(nil), data...)
+			mut[pos] ^= 0x80
+			if _, err := DecodeTombs(mut, n); err == nil {
+				t.Fatalf("n=%d bit flip at %d decoded without error", n, pos)
+			}
+		}
+	}
+}
+
 func TestManifestCorruption(t *testing.T) {
-	m := &Manifest{Family: "RMI", Shards: []ShardMeta{{Sep: 0, Codec: "RMI", Table: "t", WAL: "w"}}}
+	m := &Manifest{Family: "RMI", Shards: []ShardMeta{{Sep: 0, Codec: "RMI", WAL: "w",
+		Runs: []RunMeta{{Codec: "RMI", Table: "t"}}}}}
 	var buf bytes.Buffer
 	if err := EncodeManifest(binio.NewWriter(&buf), m); err != nil {
 		t.Fatalf("encode: %v", err)

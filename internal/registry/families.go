@@ -100,7 +100,38 @@ func init() {
 			return prev
 		})
 	}
+
+	// Tier-run hooks: the index of a small LSM run. Flushed deltas are
+	// tiny relative to the base, so a run is served by plain binary
+	// search until it's big enough (≥ tierLearnedMin keys) that a coarse
+	// learned bound — one cheap linear fit per ~epsilon keys — beats the
+	// log2(n) last-mile probes. Coarse PGM stands in for all three
+	// learned families: its O(n) greedy build is the cheapest learned
+	// construction and the run is replaced wholesale at the next merge,
+	// so per-family tuning would buy nothing.
+	SetTierFallback(func() NamedBuilder {
+		return NamedBuilder{"", rbs.BinarySearchBuilder{}}
+	})
+	for _, fam := range []string{"RMI", "PGM", "RS"} {
+		RegisterTier(fam, func(keys []core.Key) (NamedBuilder, string) {
+			if len(keys) >= tierLearnedMin {
+				lab := lbl("eps=%d", tierEps)
+				return NamedBuilder{lab, pgm.Builder{Eps: tierEps}}, ID("PGM", lab)
+			}
+			return NamedBuilder{"", rbs.BinarySearchBuilder{}}, "BS"
+		})
+	}
 }
+
+// tierLearnedMin is the run size above which a tier run gets a coarse
+// learned index instead of binary search; below it the run fits in a
+// few cache lines' worth of probe path and construction can't pay off.
+const tierLearnedMin = 1 << 14
+
+// tierEps is the error bound of the coarse tier-run PGM: wide enough
+// that the build is a single cheap pass with few segments, tight enough
+// to cut the last mile to a handful of probes.
+const tierEps = 256
 
 func strideSweep(mk func(int) core.Builder) SweepFunc {
 	return func(keys []core.Key) []NamedBuilder {

@@ -157,6 +157,62 @@ func RebuildBuilder(family string, prev core.Builder, keys []core.Key) core.Buil
 	return prev
 }
 
+// TierFunc produces the builder for a small LSM tier run of a family:
+// keys is the run about to be indexed — typically one flushed delta or
+// a minor merge of a few deltas, so orders of magnitude smaller than
+// the shard base. The hook lets a family serve small runs with a cheap
+// low-tier index (plain binary search, a coarse PGM) instead of paying
+// its full per-base tuning cost on every flush. The returned id is the
+// catalog ID of the entry that built the index — the family the
+// builder actually belongs to, not necessarily the shard's family — so
+// a persisted run can name the exact entry that rebuilds it.
+type TierFunc func(keys []core.Key) (nb NamedBuilder, id string)
+
+var tiers = map[string]TierFunc{}
+
+// RegisterTier adds a family's tier-run builder hook. Like Register,
+// it panics on nil hooks and duplicate registrations.
+func RegisterTier(family string, fn TierFunc) {
+	if fn == nil {
+		panic(fmt.Sprintf("registry: nil tier hook for family %q", family))
+	}
+	if _, dup := tiers[family]; dup {
+		panic(fmt.Sprintf("registry: duplicate tier hook for family %q", family))
+	}
+	tiers[family] = fn
+}
+
+// HasTier reports whether a family registered a tier-run builder hook.
+func HasTier(family string) bool {
+	_, ok := tiers[family]
+	return ok
+}
+
+// TierBuilder returns the builder for indexing a small tier run of
+// keys, plus its catalog ID for persistence: the family's tier hook
+// when registered, otherwise the zero-cost binary-search fallback
+// (families without a hook — and custom builders outside the catalog —
+// never pay index construction on a flush).
+func TierBuilder(family string, keys []core.Key) (NamedBuilder, string) {
+	if fn, ok := tiers[family]; ok {
+		return fn(keys)
+	}
+	return binarySearchTier(), "BS"
+}
+
+// binarySearchTier is the universal tier fallback: a no-build index
+// whose every bound is the full array, resolved by the last-mile
+// search. Registered by the families package as the "BS" catalog entry;
+// kept behind a function hook here so registry carries no structure
+// dependencies.
+var binarySearchTier = func() NamedBuilder {
+	panic("registry: tier fallback not wired (families package not linked)")
+}
+
+// SetTierFallback wires the binary-search tier fallback; called once at
+// init by the families catalog.
+func SetTierFallback(fn func() NamedBuilder) { binarySearchTier = fn }
+
 // ParetoFamilies is the structure set of Figure 7.
 var ParetoFamilies = []string{"RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree", "FAST"}
 

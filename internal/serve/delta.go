@@ -2,13 +2,16 @@ package serve
 
 // The write path of the mutable Store: each shard carries a sorted,
 // immutable delta buffer of pending writes (upserts and tombstones) on
-// top of its immutable base table. Writers publish a new delta by
-// copy-on-write under the shard's single-writer lock; readers always
-// load one consistent (base, delta, frozen-delta) snapshot through the
-// shard's atomic pointer and merge on the fly. When a delta grows past
-// the compaction threshold it is frozen, merged into the base run off
-// the write lock, and the shard's index is rebuilt and republished in
-// one pointer swap. See DESIGN.md "Write path".
+// top of an ordered set of immutable sorted runs — the base run plus
+// the tier runs flushed from earlier deltas (LSM tiering). Writers
+// publish a new delta by copy-on-write under the shard's single-writer
+// lock; readers always load one consistent (runs, delta, frozen-delta)
+// snapshot through the shard's atomic pointer and merge on the fly.
+// When a delta grows past the compaction threshold it is frozen and —
+// depending on the tiering policy — flushed into a new small run with
+// a cheap tier index, or merged into fewer (or one) runs with a full
+// index rebuild, republished in one pointer swap. See DESIGN.md
+// "Write path".
 
 import (
 	"repro/internal/core"
@@ -150,17 +153,139 @@ func mergeDelta(bk []core.Key, bv []uint64, d *delta) ([]core.Key, []uint64) {
 	return outK, outV
 }
 
+// mergeLayer is one sorted input of a K-way shard merge: a run's (or
+// delta's) key/payload arrays plus optional parallel tombstone bits.
+// Only the oldest layer (the shard's base run) may contain duplicate
+// keys; every other layer is unique-keyed.
+type mergeLayer struct {
+	keys  []core.Key
+	vals  []uint64
+	tombs []bool // nil = no tombstones
+}
+
+func runLayer(t *table.Table) mergeLayer {
+	return mergeLayer{keys: t.Keys(), vals: t.Payloads(), tombs: t.Tombs()}
+}
+
+func deltaLayer(d *delta) mergeLayer {
+	return mergeLayer{keys: d.keys, vals: d.vals, tombs: d.tombs}
+}
+
+// mergeVisit walks the merged view of layers (ordered oldest first;
+// the newest layer holding a key wins) in ascending key order, calling
+// visit once per surviving pair. When the oldest layer wins, each of
+// its duplicate occurrences is visited individually — matching the
+// shape of a base run, where duplicates are original data. Tombstoned
+// winners are visited with tomb=true (never skipped here: a minor
+// merge must carry tombstones forward, and counting callers must see
+// them). Returns false when visit stopped the walk early.
+func mergeVisit(layers []mergeLayer, visit func(k core.Key, v uint64, tomb bool) bool) bool {
+	idx := make([]int, len(layers))
+	for {
+		// Smallest key among the layer heads.
+		var x core.Key
+		have := false
+		for l := range layers {
+			if idx[l] >= len(layers[l].keys) {
+				continue
+			}
+			if k := layers[l].keys[idx[l]]; !have || k < x {
+				x, have = k, true
+			}
+		}
+		if !have {
+			return true
+		}
+		// Newest layer holding x wins; everyone consumes x.
+		winner := -1
+		for l := range layers {
+			if idx[l] < len(layers[l].keys) && layers[l].keys[idx[l]] == x {
+				winner = l
+			}
+		}
+		for l := range layers {
+			ly := &layers[l]
+			n := 0
+			for idx[l]+n < len(ly.keys) && ly.keys[idx[l]+n] == x {
+				n++
+			}
+			if l == winner {
+				emit := 1
+				if l == 0 {
+					emit = n // base duplicates are original data: emit each
+				}
+				for e := 0; e < emit; e++ {
+					p := idx[l] + e
+					tomb := ly.tombs != nil && ly.tombs[p]
+					if !visit(x, ly.vals[p], tomb) {
+						return false
+					}
+				}
+			}
+			idx[l] += n
+		}
+	}
+}
+
+// mergeLayers materializes the merged view of layers into fresh
+// arrays. With dropTombs (a major merge into the base run) tombstoned
+// keys are omitted and the returned tombs is nil; without it (a minor
+// merge of upper tiers, which must keep shadowing the base) the
+// winners' tombstone bits are carried through, with an all-false array
+// normalized to nil.
+func mergeLayers(layers []mergeLayer, dropTombs bool) ([]core.Key, []uint64, []bool) {
+	n := 0
+	for _, l := range layers {
+		n += len(l.keys)
+	}
+	outK := make([]core.Key, 0, n)
+	outV := make([]uint64, 0, n)
+	var outT []bool
+	if !dropTombs {
+		outT = make([]bool, 0, n)
+	}
+	any := false
+	mergeVisit(layers, func(k core.Key, v uint64, tomb bool) bool {
+		if tomb && dropTombs {
+			return true
+		}
+		outK = append(outK, k)
+		outV = append(outV, v)
+		if !dropTombs {
+			outT = append(outT, tomb)
+			any = any || tomb
+		}
+		return true
+	})
+	if !any {
+		outT = nil
+	}
+	return outK, outV, outT
+}
+
 // shardState is the atomically published read view of one shard: the
-// base table, the active delta absorbing writes, and (while a
-// compaction is in flight) the frozen delta being merged. Every
-// transition — write, freeze, publish, replace — installs a fresh
-// shardState under the shard's write lock, so a reader's single atomic
-// load always observes a mutually consistent triple.
+// ordered run set (oldest first; runs[0] is the base run and the only
+// one allowed duplicate keys, newer runs shadow older ones and may
+// carry tombstones), the active delta absorbing writes, and (while a
+// compaction is in flight) the frozen delta being flushed or merged.
+// Every transition — write, freeze, flush, merge, replace — installs a
+// fresh shardState under the shard's write lock, so a reader's single
+// atomic load always observes a mutually consistent view. runIDs names
+// each run's index catalog entry (the manifest codec tag), parallel to
+// runs.
 type shardState struct {
-	tab    *table.Table
+	runs   []*table.Table
+	runIDs []string
 	del    *delta // active delta; emptyDelta when clean, never nil
 	frozen *delta // delta being compacted; nil when no merge in flight
 }
+
+// base returns the shard's base run.
+func (s *shardState) base() *table.Table { return s.runs[0] }
+
+// single reports whether reads can use the one-run fast path: exactly
+// the base run, which never carries tombstones.
+func (s *shardState) single() bool { return len(s.runs) == 1 }
 
 // pending returns the newest pending write for key, consulting the
 // active delta first (newer writes shadow frozen ones).
@@ -185,50 +310,85 @@ func (s *shardState) deltaLen() int {
 	return n
 }
 
-// get serves a merged point read: pending writes shadow the base.
-func (s *shardState) get(x core.Key) (uint64, bool) {
+// get serves a merged point read: pending writes shadow the runs,
+// newer runs shadow older. probes reports the number of runs probed on
+// the multi-run path (0 when the fast path answered) — the numerator
+// of the shard's measured read amplification.
+func (s *shardState) get(x core.Key) (val uint64, found bool, probes int) {
 	if v, tomb, ok := s.pending(x); ok {
 		if tomb {
-			return 0, false
+			return 0, false, 0
 		}
-		return v, true
+		return v, true, 0
 	}
-	return s.tab.Get(x)
+	if s.single() {
+		v, ok := s.base().Get(x)
+		return v, ok, 0
+	}
+	return table.GetRuns(s.runs, x)
 }
 
-// getBatch serves a merged batched read: the base table's batched fast
-// path answers the bulk, then the (small, bounded) deltas overlay their
-// keys. The extra base probe per delta-hit key keeps the found count
-// exact without threading per-key presence out of table.GetBatch.
-func (s *shardState) getBatch(keys []core.Key, out []uint64) int {
-	found := s.tab.GetBatch(keys, out)
+// getBatch serves a merged batched read into out, with scratch (at
+// least len(keys) long) as working space for per-key found bits on the
+// multi-run path. A single-run shard takes the base table's batched
+// fast path and overlays the (small, bounded) deltas; a tiered shard
+// probes the run set newest-first through table.GetBatchRuns. probes
+// reports the run probes issued (0 on the fast path).
+func (s *shardState) getBatch(keys []core.Key, out []uint64, scratch []bool) (found, probes int) {
+	if s.single() {
+		found = s.base().GetBatch(keys, out)
+		if s.del.len() == 0 && s.frozen == nil {
+			return found, 0
+		}
+		for i, x := range keys {
+			v, tomb, ok := s.pending(x)
+			if !ok {
+				continue
+			}
+			if _, inBase := s.base().Get(x); inBase {
+				found--
+			}
+			if tomb {
+				out[i] = 0
+			} else {
+				out[i] = v
+				found++
+			}
+		}
+		return found, 0
+	}
+	found, probes = table.GetBatchRuns(s.runs, keys, out, scratch)
 	if s.del.len() == 0 && s.frozen == nil {
-		return found
+		return found, probes
 	}
 	for i, x := range keys {
 		v, tomb, ok := s.pending(x)
 		if !ok {
 			continue
 		}
-		if _, inBase := s.tab.Get(x); inBase {
+		if scratch[i] {
 			found--
 		}
 		if tomb {
-			out[i] = 0
+			out[i], scratch[i] = 0, false
 		} else {
-			out[i] = v
+			out[i], scratch[i] = v, true
 			found++
 		}
 	}
-	return found
+	return found, probes
 }
 
 // getBatchFound is getBatch plus per-key found bits, resolved against
 // this same shard snapshot: out alone cannot distinguish a zero payload
-// from absence. Only zero out-values need the extra probe — a nonzero
-// payload is proof of presence.
-func (s *shardState) getBatchFound(keys []core.Key, out []uint64, found []bool) int {
-	n := s.getBatch(keys, out)
+// from absence.
+func (s *shardState) getBatchFound(keys []core.Key, out []uint64, found []bool) (n, probes int) {
+	if !s.single() {
+		// The multi-run path materializes found bits anyway; resolve
+		// them straight into the caller's array.
+		return s.getBatch(keys, out, found)
+	}
+	n, _ = s.getBatch(keys, out, nil)
 	for i, x := range keys {
 		if out[i] != 0 {
 			found[i] = true
@@ -237,79 +397,69 @@ func (s *shardState) getBatchFound(keys []core.Key, out []uint64, found []bool) 
 		if _, tomb, ok := s.pending(x); ok {
 			found[i] = !tomb // a pending non-tombstone zero is present
 		} else {
-			_, found[i] = s.tab.Get(x)
+			_, found[i] = s.base().Get(x)
 		}
 	}
-	return n
+	return n, 0
+}
+
+// scanLayers assembles the shard's merge layers for [lo, hi), ordered
+// oldest first: base run, newer runs, frozen delta, active delta.
+func (s *shardState) scanLayers(lo, hi core.Key) []mergeLayer {
+	layers := make([]mergeLayer, 0, len(s.runs)+2)
+	for _, t := range s.runs {
+		k, v, tb := t.RangeTombed(lo, hi)
+		layers = append(layers, mergeLayer{keys: k, vals: v, tombs: tb})
+	}
+	if s.frozen != nil {
+		k, v, tb := s.frozen.window(lo, hi)
+		layers = append(layers, mergeLayer{keys: k, vals: v, tombs: tb})
+	}
+	k, v, tb := s.del.window(lo, hi)
+	layers = append(layers, mergeLayer{keys: k, vals: v, tombs: tb})
+	return layers
 }
 
 // scan visits the shard's live pairs with key in [lo, hi) in ascending
-// order: a three-way merge of active delta, frozen delta, and base
-// table with precedence active > frozen > base and tombstones dropping
-// their key. Returns false when visit stopped the scan.
+// order: a K-way merge of active delta, frozen delta, and the run set
+// with newest-wins precedence, tombstones dropping their key, and
+// duplicate base keys collapsed to their first occurrence. Returns
+// false when visit stopped the scan.
 func (s *shardState) scan(lo, hi core.Key, visit func(core.Key, uint64) bool) bool {
-	bk, bv := s.tab.Range(lo, hi)
-	ak, av, at := s.del.window(lo, hi)
-	var fk []core.Key
-	var fv []uint64
-	var ft []bool
-	if s.frozen != nil {
-		fk, fv, ft = s.frozen.window(lo, hi)
-	}
-	i, j, k := 0, 0, 0
-	for i < len(ak) || j < len(fk) || k < len(bk) {
-		// Smallest key among the three runs.
-		var x core.Key
-		switch {
-		case i < len(ak):
-			x = ak[i]
-		case j < len(fk):
-			x = fk[j]
-		default:
-			x = bk[k]
-		}
-		if j < len(fk) && fk[j] < x {
-			x = fk[j]
-		}
-		if k < len(bk) && bk[k] < x {
-			x = bk[k]
-		}
-		// Consume x from every run, keeping the highest-precedence value.
-		var v uint64
-		var tomb, have bool
-		if i < len(ak) && ak[i] == x {
-			v, tomb, have = av[i], at[i], true
-			i++
-		}
-		if j < len(fk) && fk[j] == x {
-			if !have {
-				v, tomb, have = fv[j], ft[j], true
-			}
-			j++
-		}
-		for k < len(bk) && bk[k] == x {
-			if !have {
-				v, have = bv[k], true
-			}
-			k++
-		}
+	var lastKey core.Key
+	haveLast := false
+	return mergeVisit(s.scanLayers(lo, hi), func(k core.Key, v uint64, tomb bool) bool {
 		if tomb {
-			continue
+			return true
 		}
-		if !visit(x, v) {
-			return false
+		if haveLast && k == lastKey {
+			return true // duplicate base occurrence: first one was visited
 		}
-	}
-	return true
+		lastKey, haveLast = k, true
+		return visit(k, v)
+	})
 }
 
-// liveLen reports the shard's live pair count: the base length adjusted
-// by each pending entry's effect (a tombstone removes every base
-// occurrence of its key; an upsert collapses a duplicate run to one
-// pair or adds a new key). Walks the union of active and frozen with
-// active shadowing frozen, mirroring the read path's precedence.
+// liveLen reports the shard's live pair count. The single-run shape
+// (base length adjusted by each pending entry's effect — a tombstone
+// removes every base occurrence of its key, an upsert collapses a
+// duplicate run to one pair or adds a new key) costs one base probe
+// per pending entry; a tiered shard pays a full merge walk instead,
+// counting pairs exactly as a major merge would emit them.
 func (s *shardState) liveLen() int {
-	n := s.tab.Len()
+	if !s.single() {
+		n := 0
+		mergeVisit(s.scanLayers(0, ^core.Key(0)), func(k core.Key, v uint64, tomb bool) bool {
+			if !tomb {
+				n++
+			}
+			return true
+		})
+		// The max key is excluded from the [0, ^0) window; count it by hand.
+		n += s.liveCountKey(^core.Key(0))
+		return n
+	}
+	n := s.base().Len()
 	f := s.frozen
 	if f == nil {
 		f = emptyDelta
@@ -329,7 +479,7 @@ func (s *shardState) liveLen() int {
 			x, tomb = f.keys[j], f.tombs[j]
 			j++
 		}
-		c := s.tab.CountKey(x)
+		c := s.base().CountKey(x)
 		switch {
 		case tomb:
 			n -= c
@@ -340,4 +490,26 @@ func (s *shardState) liveLen() int {
 		}
 	}
 	return n
+}
+
+// liveCountKey reports the live occurrence count of exactly key x
+// (newest-wins across deltas and runs; base duplicates count
+// individually when the base wins).
+func (s *shardState) liveCountKey(x core.Key) int {
+	if v, tomb, ok := s.pending(x); ok {
+		_ = v
+		if tomb {
+			return 0
+		}
+		return 1
+	}
+	for r := len(s.runs) - 1; r >= 1; r-- {
+		if pos, hit := s.runs[r].Find(x); hit {
+			if s.runs[r].TombAt(pos) {
+				return 0
+			}
+			return 1
+		}
+	}
+	return s.base().CountKey(x)
 }

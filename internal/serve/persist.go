@@ -2,22 +2,26 @@ package serve
 
 // Snapshot/Open: the durability face of the Store, composed from the
 // artifacts of internal/persist. A snapshot directory holds, per
-// shard, a block-aligned table file, an encoded index (when the
-// shard's family has a codec), and a write-ahead log seeded with the
-// shard's pending delta; the manifest names them all and its rename is
-// the commit point. Shard files are written under generation-suffixed
-// names and the manifest commits a complete generation at once, so a
-// crash at any instant leaves either the full old file set or the full
-// new one — never a mixed pair.
+// shard, one file set per sorted run — a block-aligned table file, an
+// encoded index (when the run's codec tag has one), and a tombstone
+// bitmap for tier runs that carry deletions — plus a write-ahead log
+// seeded with the shard's pending delta; the manifest names them all
+// and its rename is the commit point. Shard files are written under
+// generation-suffixed names and the manifest commits a complete
+// generation at once, so a crash at any instant leaves either the full
+// old file set or the full new one — never a mixed pair.
 //
 // A store opened from a snapshot is "attached": every Put/Delete
 // appends to its shard's WAL before becoming visible, and every
-// compaction or Replace commits the new base and truncates the WAL to
-// the writes still pending — the commit (manifest rename) happens
+// compaction or Replace commits the new run set and truncates the WAL
+// to the writes still pending — the commit (manifest rename) happens
 // under the shard's write lock, so no write can slip between the WAL
 // seed it captures and the moment it takes effect. At any instant,
-// replaying a shard's committed WAL over its committed base reproduces
-// the shard's live state. See DESIGN.md "Persistence".
+// replaying a shard's committed WAL over its committed runs reproduces
+// the shard's live state. Runs are immutable, so a commit rewrites
+// only the runs that changed since the last one: a flush adds one
+// small file set, a minor merge replaces the upper tiers, and only a
+// major merge rewrites the base. See DESIGN.md "Persistence".
 
 import (
 	"fmt"
@@ -35,8 +39,15 @@ import (
 	"repro/internal/table"
 )
 
-func tabFileName(i int, gen uint64) string { return fmt.Sprintf("shard-%04d-g%06d.tab", i, gen) }
-func idxFileName(i int, gen uint64) string { return fmt.Sprintf("shard-%04d-g%06d.idx", i, gen) }
+func runTabName(i int, gen uint64, r int) string {
+	return fmt.Sprintf("shard-%04d-g%06d-r%02d.tab", i, gen, r)
+}
+func runIdxName(i int, gen uint64, r int) string {
+	return fmt.Sprintf("shard-%04d-g%06d-r%02d.idx", i, gen, r)
+}
+func runTmbName(i int, gen uint64, r int) string {
+	return fmt.Sprintf("shard-%04d-g%06d-r%02d.tmb", i, gen, r)
+}
 func walFileName(i int, gen uint64) string { return fmt.Sprintf("shard-%04d-g%06d.wal", i, gen) }
 
 // notePersistErr records the store's first background persistence
@@ -87,7 +98,10 @@ func (st *Store) SyncWAL() error {
 }
 
 // pendingOps flattens a shard state's pending writes (frozen delta
-// under active, newest wins) into WAL seed records.
+// under active, newest wins) into WAL seed records. An in-flight
+// frozen delta rides in the WAL rather than as a run: it has not been
+// committed as a run yet, and replaying it over the committed run set
+// reproduces the same merged view.
 func pendingOps(s *shardState) []persist.Op {
 	d := s.del
 	if s.frozen != nil {
@@ -131,23 +145,30 @@ func deltaFromOps(ops []persist.Op) *delta {
 	return d
 }
 
-// writeShardBase writes shard i's immutable base (table file, and the
-// encoded index when the family has a codec) into dir at generation
-// gen, returning the file names ("" index = rebuild-at-load marker).
-func (st *Store) writeShardBase(dir string, i int, gen uint64, tab *table.Table) (tabName, idxName string, err error) {
-	tabName = tabFileName(i, gen)
-	if err := persist.WriteTable(filepath.Join(dir, tabName), tab.Keys(), tab.Payloads()); err != nil {
-		return "", "", err
+// writeShardRun writes one immutable run of shard i into dir at
+// generation gen: its table file, the encoded index when the family
+// has a codec (otherwise "" marks rebuild-at-load), and its tombstone
+// bitmap when it carries deletions.
+func (st *Store) writeShardRun(dir string, i int, gen uint64, r int, tab *table.Table, codec string) (persist.RunMeta, error) {
+	rm := persist.RunMeta{Codec: codec, Table: runTabName(i, gen, r)}
+	if err := persist.WriteTable(filepath.Join(dir, rm.Table), tab.Keys(), tab.Payloads()); err != nil {
+		return persist.RunMeta{}, err
 	}
 	if tab.Len() > 0 {
 		if _, ok := registry.CodecFor(tab.Index().Name()); ok {
-			idxName = idxFileName(i, gen)
-			if err := persist.WriteIndex(filepath.Join(dir, idxName), tab.Index()); err != nil {
-				return "", "", err
+			rm.Index = runIdxName(i, gen, r)
+			if err := persist.WriteIndex(filepath.Join(dir, rm.Index), tab.Index()); err != nil {
+				return persist.RunMeta{}, err
 			}
 		}
 	}
-	return tabName, idxName, nil
+	if tab.HasTombs() {
+		rm.Tombs = runTmbName(i, gen, r)
+		if err := persist.WriteTombs(filepath.Join(dir, rm.Tombs), tab.Tombs()); err != nil {
+			return persist.RunMeta{}, err
+		}
+	}
+	return rm, nil
 }
 
 // cleanStaleShardFiles removes generation files the committed manifest
@@ -156,7 +177,10 @@ func (st *Store) writeShardBase(dir string, i int, gen uint64, tab *table.Table)
 func cleanStaleShardFiles(dir string, m *persist.Manifest) {
 	keep := map[string]bool{}
 	for _, s := range m.Shards {
-		keep[s.Table], keep[s.Index], keep[s.WAL] = true, true, true
+		keep[s.WAL] = true
+		for _, r := range s.Runs {
+			keep[r.Table], keep[r.Index], keep[r.Tombs] = true, true, true
+		}
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "shard-*"))
 	if err != nil {
@@ -170,14 +194,13 @@ func cleanStaleShardFiles(dir string, m *persist.Manifest) {
 }
 
 // Snapshot atomically persists the store's full state into dir: every
-// shard's base table, its index (encoded without its training data
-// when the family has a codec), and a WAL seeded with the shard's
-// pending writes, committed by the manifest rename. It runs alongside
-// concurrent reads and writes — each shard is captured at one
-// consistent (base, pending) point — and leaves the store serving
-// throughout. Snapshotting an attached store to its own directory
-// commits shard by shard and swaps the live WALs, truncating each to
-// the pending writes just captured.
+// shard's run set (tables, encoded indexes, tombstone bitmaps) and a
+// WAL seeded with the shard's pending writes, committed by the
+// manifest rename. It runs alongside concurrent reads and writes —
+// each shard is captured at one consistent (runs, pending) point — and
+// leaves the store serving throughout. Snapshotting an attached store
+// to its own directory commits shard by shard and swaps the live WALs,
+// truncating each to the pending writes just captured.
 func (st *Store) Snapshot(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -198,12 +221,12 @@ func (st *Store) Snapshot(dir string) error {
 	}
 
 	// Export to a foreign directory: capture each shard from one
-	// atomic state load (tab, active, frozen are individually
-	// immutable, so no locks or retries are needed), then commit a
-	// complete generation with a single manifest rename. Exports
-	// serialize only against each other (exportMu), never against the
-	// attached directory's compaction commits — a long backup must not
-	// stall the compactor behind persistMu.
+	// atomic state load (runs and deltas are individually immutable,
+	// so no locks or retries are needed), then commit a complete
+	// generation with a single manifest rename. Exports serialize only
+	// against each other (exportMu), never against the attached
+	// directory's compaction commits — a long backup must not stall
+	// the compactor behind persistMu.
 	st.exportMu.Lock()
 	defer st.exportMu.Unlock()
 	gen := uint64(1)
@@ -220,9 +243,13 @@ func (st *Store) Snapshot(dir string) error {
 		s := st.shards[i].Load()
 		tag := st.builderIDs[i] // read with its state under the lock
 		st.writeMu[i].Unlock()
-		tabName, idxName, err := st.writeShardBase(abs, i, gen, s.tab)
-		if err != nil {
-			return err
+		runs := make([]persist.RunMeta, len(s.runs))
+		for r, t := range s.runs {
+			rm, err := st.writeShardRun(abs, i, gen, r, t, s.runIDs[r])
+			if err != nil {
+				return err
+			}
+			runs[r] = rm
 		}
 		walName := walFileName(i, gen)
 		w, err := persist.CreateWAL(filepath.Join(abs, walName), pendingOps(s))
@@ -232,10 +259,7 @@ func (st *Store) Snapshot(dir string) error {
 		if err := w.Close(); err != nil {
 			return err
 		}
-		m.Shards[i] = persist.ShardMeta{
-			Sep: st.seps[i], Codec: tag,
-			Table: tabName, Index: idxName, WAL: walName,
-		}
+		m.Shards[i] = persist.ShardMeta{Sep: st.seps[i], Codec: tag, WAL: walName, Runs: runs}
 	}
 	if err := persist.WriteManifest(filepath.Join(abs, persist.ManifestName), m); err != nil {
 		return err
@@ -245,49 +269,66 @@ func (st *Store) Snapshot(dir string) error {
 }
 
 // persistShard commits shard i's current state to the attached
-// directory at a fresh generation: new table + index files, a WAL
-// seeded with the still-pending writes, and the manifest naming them.
-// It is the incremental, single-shard form of Snapshot, run after
-// every compaction and Replace on an attached store.
+// directory at a fresh generation: file sets for any runs not already
+// committed, a WAL seeded with the still-pending writes, and the
+// manifest naming them. It is the incremental, single-shard form of
+// Snapshot, run after every compaction and Replace on an attached
+// store.
 func (st *Store) persistShard(i int) error {
 	st.persistMu.Lock()
 	defer st.persistMu.Unlock()
 	return st.persistShardLocked(i)
 }
 
-// persistShardLocked (persistMu held) does the work. The heavy base
-// write happens off the shard's write lock against the immutable
-// table (retrying if a compaction republishes it mid-write); the WAL
-// seed and the manifest rename happen under the lock, so the commit
-// point and the captured pending set agree exactly — this is what
-// keeps the replay invariant through compaction truncations and
-// through Replace's wholesale discard of pending writes. Writers to
-// this one shard stall for the WAL+manifest commit (~one fsync);
+// sameRuns reports whether two run sets are the identical tables in
+// the identical order (pointer identity: runs are immutable).
+func sameRuns(a, b []*table.Table) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// persistShardLocked (persistMu held) does the work. The heavy run
+// writes happen off the shard's write lock against the immutable
+// tables (retrying if a compaction republishes the run set mid-write);
+// runs already committed by an earlier generation reuse their files,
+// so the common checkpoint of an unchanged shard is a WAL+manifest-
+// only commit (~one fsync), and a tiered flush commits just its one
+// small new run. The WAL seed and the manifest rename happen under the
+// lock, so the commit point and the captured pending set agree exactly
+// — this is what keeps the replay invariant through compaction
+// truncations and through Replace's wholesale discard of pending
+// writes. Writers to this one shard stall for the WAL+manifest commit;
 // readers and other shards are unaffected.
 func (st *Store) persistShardLocked(i int) error {
 	dir := st.dir
 	gen := st.gen + 1
 	for {
 		s := st.shards[i].Load()
-		var tabName, idxName string
-		if st.lastPersisted[i] == s.tab {
-			// Base unchanged since its last commit: reuse the committed
-			// files and make this a WAL+manifest-only commit (~one
-			// fsync) — the common shape of a periodic checkpoint.
-			tabName, idxName = st.meta[i].Table, st.meta[i].Index
-		} else {
-			var err error
-			tabName, idxName, err = st.writeShardBase(dir, i, gen, s.tab)
+		runs := make([]persist.RunMeta, len(s.runs))
+		for r, t := range s.runs {
+			if rm, ok := st.persistedRuns[i][t]; ok {
+				runs[r] = rm
+				continue
+			}
+			rm, err := st.writeShardRun(dir, i, gen, r, t, s.runIDs[r])
 			if err != nil {
 				return err
 			}
+			runs[r] = rm
 		}
 
 		st.writeMu[i].Lock()
 		s2 := st.shards[i].Load()
-		if s2.tab != s.tab {
+		if !sameRuns(s2.runs, s.runs) {
 			st.writeMu[i].Unlock()
-			continue // base republished mid-write; redo (same gen, files overwritten)
+			continue // run set republished mid-write; redo (same gen, files overwritten)
 		}
 		walName := walFileName(i, gen)
 		w, err := persist.CreateWAL(filepath.Join(dir, walName), pendingOps(s2))
@@ -296,10 +337,7 @@ func (st *Store) persistShardLocked(i int) error {
 			return err
 		}
 		shards := append([]persist.ShardMeta(nil), st.meta...)
-		shards[i] = persist.ShardMeta{
-			Sep: st.seps[i], Codec: st.builderIDs[i],
-			Table: tabName, Index: idxName, WAL: walName,
-		}
+		shards[i] = persist.ShardMeta{Sep: st.seps[i], Codec: st.builderIDs[i], WAL: walName, Runs: runs}
 		m := &persist.Manifest{Family: st.cfg.Family, Gen: gen, Shards: shards}
 		if err := persist.WriteManifest(filepath.Join(dir, persist.ManifestName), m); err != nil {
 			w.Close()
@@ -314,7 +352,13 @@ func (st *Store) persistShardLocked(i int) error {
 		st.writeMu[i].Unlock()
 		st.meta = shards
 		st.gen = gen
-		st.lastPersisted[i] = s.tab
+		// Re-key the committed-run map to exactly the current run set so
+		// superseded runs drop out and their tables can be collected.
+		committed := make(map[*table.Table]persist.RunMeta, len(s.runs))
+		for r, t := range s.runs {
+			committed[t] = runs[r]
+		}
+		st.persistedRuns[i] = committed
 		cleanStaleShardFiles(dir, m)
 		return nil
 	}
@@ -334,16 +378,17 @@ func wrapBuilderFor(custom func(shard int, keys []core.Key) (core.Builder, error
 	}
 }
 
-// Open loads a store from a snapshot directory: each shard's table is
-// read through io.ReaderAt into its final arrays, its index decoded
-// from trained parameters (no retraining; families without a codec are
-// rebuilt from the loaded keys), and its WAL replayed into the pending
-// delta — so the store serves exactly the state current when the
-// snapshot (plus any logged writes) was taken. The returned store is
-// attached: subsequent writes append to the WALs and compactions
-// advance the on-disk state. cfg supplies the runtime knobs (Search,
-// Workers, CompactThreshold, SyncWrites, BuilderFor); the shard
-// structure, family and index configuration come from the manifest.
+// Open loads a store from a snapshot directory: each shard's runs are
+// read through io.ReaderAt into their final arrays, their indexes
+// decoded from trained parameters (no retraining; runs without an
+// encoded index are rebuilt from the loaded keys), tombstone bitmaps
+// restored, and the WAL replayed into the pending delta — so the store
+// serves exactly the state current when the snapshot (plus any logged
+// writes) was taken. The returned store is attached: subsequent writes
+// append to the WALs and compactions advance the on-disk state. cfg
+// supplies the runtime knobs (Search, Workers, CompactThreshold,
+// MaxRuns, AmpBound, SyncWrites, BuilderFor); the shard structure,
+// family and index configuration come from the manifest.
 func Open(dir string, cfg Config) (*Store, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
@@ -367,6 +412,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if cfg.CompactThreshold == 0 {
 		cfg.CompactThreshold = DefaultCompactThreshold
 	}
+	normalizeTierConfig(&cfg)
 
 	st := &Store{cfg: cfg, dir: abs, gen: m.Gen}
 	st.meta = append([]persist.ShardMeta(nil), m.Shards...)
@@ -415,11 +461,16 @@ func Open(dir string, cfg Config) (*Store, error) {
 			return nil, err
 		}
 	}
-	// The just-loaded bases are exactly what the manifest committed, so
-	// the first checkpoint of an unchanged shard can skip rewriting them.
-	st.lastPersisted = make([]*table.Table, nShards)
+	// The just-loaded runs are exactly what the manifest committed, so
+	// the first checkpoint of an unchanged shard can reuse every file.
+	st.persistedRuns = make([]map[*table.Table]persist.RunMeta, nShards)
 	for i := range st.shards {
-		st.lastPersisted[i] = st.shards[i].Load().tab
+		s := st.shards[i].Load()
+		committed := make(map[*table.Table]persist.RunMeta, len(s.runs))
+		for r, t := range s.runs {
+			committed[t] = m.Shards[i].Runs[r]
+		}
+		st.persistedRuns[i] = committed
 	}
 	st.start()
 	// Replayed deltas past the threshold compact in the background
@@ -434,73 +485,18 @@ func Open(dir string, cfg Config) (*Store, error) {
 	return st, nil
 }
 
-// openShard loads one shard: table, index, WAL.
+// openShard loads one shard: its runs (table, index, tombstones per
+// run) and its WAL.
 func (st *Store) openShard(dir string, i int, meta *persist.ShardMeta) error {
-	keys, payloads, err := persist.ReadTable(filepath.Join(dir, meta.Table))
-	if err != nil {
-		return fmt.Errorf("serve: shard %d table: %w", i, err)
-	}
-	// Boundary check: a table file swapped between shards would pass
-	// its own checksums but violate the routing invariant. Shard 0 has
-	// no lower fence — keys below every separator route to it (see
-	// shardOf), so its compacted base may legitimately start below
-	// seps[0].
-	if len(keys) > 0 {
-		if i > 0 && keys[0] < st.seps[i] {
-			return fmt.Errorf("serve: shard %d table starts at %d, before separator %d", i, keys[0], st.seps[i])
-		}
-		if i+1 < len(st.seps) && keys[len(keys)-1] >= st.seps[i+1] {
-			return fmt.Errorf("serve: shard %d table crosses into shard %d", i, i+1)
-		}
-	}
-
-	var tab *table.Table
-	switch {
-	case len(keys) == 0:
-		tab = table.Empty(st.cfg.Search)
-	case meta.Index != "":
-		idx, err := persist.ReadIndex(filepath.Join(dir, meta.Index))
+	runs := make([]*table.Table, len(meta.Runs))
+	runIDs := make([]string, len(meta.Runs))
+	for r := range meta.Runs {
+		tab, err := st.openRun(dir, i, r, &meta.Runs[r])
 		if err != nil {
-			return fmt.Errorf("serve: shard %d index: %w", i, err)
+			return err
 		}
-		if fam, _ := registry.ParseID(meta.Codec); fam != idx.Name() {
-			// A mismatch between the manifest tag and the frame's own
-			// family is tampering — except when the tag names a custom
-			// builder (no codec of its own) that produced an index of a
-			// codec family; there the frame's self-description wins.
-			if _, tagHasCodec := registry.CodecFor(fam); tagHasCodec {
-				return fmt.Errorf("serve: shard %d index family %q does not match codec tag %q", i, idx.Name(), meta.Codec)
-			}
-		}
-		if err := sampleValidate(keys, idx); err != nil {
-			return fmt.Errorf("serve: shard %d: %w", i, err)
-		}
-		tab, err = table.New(keys, payloads, idx, st.cfg.Search)
-		if err != nil {
-			return fmt.Errorf("serve: shard %d: %w", i, err)
-		}
-	default:
-		// No encoded index (family without a codec): rebuild from the
-		// loaded keys — the documented retraining fallback. A caller-
-		// supplied BuilderFor wins over the catalog: it may be the only
-		// way to build a family the registry does not know.
-		var b core.Builder
-		var id string
-		var err error
-		if st.cfg.BuilderFor != nil {
-			b, id, err = st.builderFor(i, keys)
-		} else {
-			b, id, err = resolveRebuild(nil, meta.Codec, keys)
-		}
-		if err != nil {
-			return fmt.Errorf("serve: shard %d: %w", i, err)
-		}
-		tab, err = table.Build(b, keys, payloads, st.cfg.Search)
-		if err != nil {
-			return fmt.Errorf("serve: shard %d rebuild: %w", i, err)
-		}
-		st.builders[i] = b
-		st.builderIDs[i] = id
+		runs[r] = tab
+		runIDs[r] = meta.Runs[r].Codec
 	}
 
 	wal, ops, err := persist.OpenWAL(filepath.Join(dir, meta.WAL))
@@ -514,12 +510,92 @@ func (st *Store) openShard(dir string, i int, meta *persist.ShardMeta) error {
 		}
 	}
 	st.wals[i] = wal
-	st.shards[i].Store(&shardState{tab: tab, del: deltaFromOps(ops)})
+	st.shards[i].Store(&shardState{runs: runs, runIDs: runIDs, del: deltaFromOps(ops)})
 	return nil
 }
 
-// sampleValidate spot-checks a decoded index against the shard's keys:
-// a sample of present keys (plus both extremes) must produce valid
+// openRun loads one run of shard i: table, tombstone bitmap, index.
+func (st *Store) openRun(dir string, i, r int, rm *persist.RunMeta) (*table.Table, error) {
+	keys, payloads, err := persist.ReadTable(filepath.Join(dir, rm.Table))
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %d run %d table: %w", i, r, err)
+	}
+	// Boundary check: a table file swapped between shards would pass
+	// its own checksums but violate the routing invariant. Shard 0 has
+	// no lower fence — keys below every separator route to it (see
+	// shardOf), so any of its runs may legitimately start below seps[0].
+	if len(keys) > 0 {
+		if i > 0 && keys[0] < st.seps[i] {
+			return nil, fmt.Errorf("serve: shard %d run %d starts at %d, before separator %d", i, r, keys[0], st.seps[i])
+		}
+		if i+1 < len(st.seps) && keys[len(keys)-1] >= st.seps[i+1] {
+			return nil, fmt.Errorf("serve: shard %d run %d crosses into shard %d", i, r, i+1)
+		}
+	}
+	var tombs []bool
+	if rm.Tombs != "" {
+		tombs, err = persist.ReadTombs(filepath.Join(dir, rm.Tombs), len(keys))
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d run %d tombs: %w", i, r, err)
+		}
+	}
+
+	switch {
+	case len(keys) == 0:
+		return table.Empty(st.cfg.Search), nil
+	case rm.Index != "":
+		idx, err := persist.ReadIndex(filepath.Join(dir, rm.Index))
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d run %d index: %w", i, r, err)
+		}
+		if fam, _ := registry.ParseID(rm.Codec); fam != idx.Name() {
+			// A mismatch between the manifest tag and the frame's own
+			// family is tampering — except when the tag names a custom
+			// builder (no codec of its own) that produced an index of a
+			// codec family; there the frame's self-description wins.
+			if _, tagHasCodec := registry.CodecFor(fam); tagHasCodec {
+				return nil, fmt.Errorf("serve: shard %d run %d index family %q does not match codec tag %q", i, r, idx.Name(), rm.Codec)
+			}
+		}
+		if err := sampleValidate(keys, idx); err != nil {
+			return nil, fmt.Errorf("serve: shard %d run %d: %w", i, r, err)
+		}
+		tab, err := table.NewTombed(keys, payloads, tombs, idx, st.cfg.Search)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d run %d: %w", i, r, err)
+		}
+		return tab, nil
+	default:
+		// No encoded index (a family without a codec, or a plain
+		// binary-search tier run): rebuild from the loaded keys — the
+		// documented retraining fallback. For the base run a caller-
+		// supplied BuilderFor wins over the catalog: it may be the only
+		// way to build a family the registry does not know.
+		var b core.Builder
+		var id string
+		var err error
+		if r == 0 && st.cfg.BuilderFor != nil {
+			b, id, err = st.builderFor(i, keys)
+		} else {
+			b, id, err = resolveRebuild(nil, rm.Codec, keys)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d run %d: %w", i, r, err)
+		}
+		tab, err := table.BuildTombed(b, keys, payloads, tombs, st.cfg.Search)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d run %d rebuild: %w", i, r, err)
+		}
+		if r == 0 {
+			st.builders[i] = b
+			st.builderIDs[i] = id
+		}
+		return tab, nil
+	}
+}
+
+// sampleValidate spot-checks a decoded index against the run's keys: a
+// sample of present keys (plus both extremes) must produce valid
 // lower-bound search bounds. Checksums catch bit rot; this catches a
 // structurally-valid index paired with the wrong table (sizes or key
 // ranges that drifted apart), at a cost independent of table size.

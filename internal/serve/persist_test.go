@@ -411,8 +411,8 @@ func TestOpenRejectsTamperedSnapshot(t *testing.T) {
 	}
 	st.Close()
 	m := snapshotManifest(t, dir)
-	a := filepath.Join(dir, m.Shards[0].Table)
-	b := filepath.Join(dir, m.Shards[1].Table)
+	a := filepath.Join(dir, m.Shards[0].Runs[0].Table)
+	b := filepath.Join(dir, m.Shards[1].Runs[0].Table)
 	tmp := filepath.Join(dir, "x")
 	os.Rename(a, tmp)
 	os.Rename(b, a)
@@ -722,7 +722,7 @@ func TestCheckpointReusesUnchangedBase(t *testing.T) {
 		t.Fatalf("checkpoint did not advance generation: %d -> %d", m1.Gen, m2.Gen)
 	}
 	for i := range m2.Shards {
-		if m2.Shards[i].Table != m1.Shards[i].Table || m2.Shards[i].Index != m1.Shards[i].Index {
+		if m2.Shards[i].Runs[0].Table != m1.Shards[i].Runs[0].Table || m2.Shards[i].Runs[0].Index != m1.Shards[i].Runs[0].Index {
 			t.Fatalf("shard %d base rewritten on unchanged-base checkpoint: %+v -> %+v", i, m1.Shards[i], m2.Shards[i])
 		}
 		if m2.Shards[i].WAL == m1.Shards[i].WAL {
@@ -737,5 +737,99 @@ func TestCheckpointReusesUnchangedBase(t *testing.T) {
 	if v, ok := warm.Get(keys[0]); !ok || v != 7777 {
 		t.Fatalf("checkpointed write lost: (%d,%v)", v, ok)
 	}
+	warm.Close()
+}
+
+// TestTieredPersistenceRoundTrip: an attached tiered store commits its
+// run sets incrementally — a flush adds one small run file set, the
+// base files are reused — and a reopen restores the multi-run shards
+// (tables, tier indexes, tombstone bitmaps) plus the WAL'd pending
+// writes exactly.
+func TestTieredPersistenceRoundTrip(t *testing.T) {
+	keys, payloads := testData(t, 6000)
+	st, err := New(keys, payloads, Config{Shards: 2, Family: "PGM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := st.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	m0 := snapshotManifest(t, dir)
+
+	live, err := Open(dir, Config{CompactThreshold: 64, MaxRuns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[core.Key]uint64{}
+	for i, k := range keys {
+		oracle[k] = payloads[i]
+	}
+	// Inserts plus deletions of base keys: the flushed tier runs carry
+	// tombstones that must survive the round trip.
+	ins := dataset.InsertKeys(keys, 600, 13)
+	for i, k := range ins {
+		live.Put(k, uint64(i)+1)
+		oracle[k] = uint64(i) + 1
+		if i%4 == 0 {
+			victim := keys[(i*11)%len(keys)]
+			live.Delete(victim)
+			delete(oracle, victim)
+		}
+	}
+	live.WaitCompactions()
+	if live.MaxRunCount() < 2 {
+		t.Fatalf("max run count %d, want >= 2", live.MaxRunCount())
+	}
+	if err := live.PersistErr(); err != nil {
+		t.Fatalf("persist err: %v", err)
+	}
+	m1 := snapshotManifest(t, dir)
+	multiRun, tombed, baseReused := false, false, false
+	for i, sm := range m1.Shards {
+		if len(sm.Runs) > 1 {
+			multiRun = true
+		}
+		for _, rm := range sm.Runs[1:] {
+			if rm.Tombs != "" {
+				tombed = true
+			}
+		}
+		if sm.Runs[0].Table == m0.Shards[i].Runs[0].Table {
+			baseReused = true
+		}
+	}
+	if !multiRun {
+		t.Fatal("committed manifest holds no multi-run shard")
+	}
+	if !tombed {
+		t.Fatal("no committed tier run carries a tombstone bitmap")
+	}
+	if !baseReused {
+		t.Fatal("flush commits rewrote every base run instead of reusing committed files")
+	}
+
+	// A few more writes stay in the WAL as the pending delta.
+	for i := 0; i < 20; i++ {
+		k := ins[i*7%len(ins)]
+		live.Put(k, uint64(i)<<16|9)
+		oracle[k] = uint64(i)<<16 | 9
+	}
+	live.Close()
+
+	warm, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStateEqual(t, warm, oracle, "tiered reopen")
+	if warm.MaxRunCount() < 2 {
+		t.Fatalf("reopened store lost its tier runs: max run count %d", warm.MaxRunCount())
+	}
+	// And the reopened store keeps compacting: full merge, then check.
+	if err := warm.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	assertStateEqual(t, warm, oracle, "tiered reopen + merge")
 	warm.Close()
 }

@@ -1,20 +1,21 @@
 // Package serve implements the many-users serving scenario on top of
 // the table layer: a Store range-partitions the keyspace across N
-// shards, each an independent, atomically replaceable table.Table
-// built from any registered index family, answers batched lookups
+// shards, each an independent, atomically replaceable set of sorted
+// runs built from any registered index family, answers batched lookups
 // through a fixed goroutine pool, and absorbs writes into per-shard
-// delta buffers that a background compactor merges back into the
-// learned indexes.
+// delta buffers that a background compactor flushes into small tier
+// runs and merges back into the learned indexes under a cost-model
+// tiering policy.
 //
 // Concurrency model: reads (Get, GetBatch, Scan, Range) are lock-free —
-// they load each shard's current state (base table + delta buffers)
+// they load each shard's current state (run set + delta buffers)
 // through one atomic pointer — and may run from any number of
 // goroutines. Writes are single-writer per shard: Put, Delete, and
 // Replace serialize on a per-shard mutex, derive the new state off to
 // the side (copy-on-write delta, or a freshly built table), and publish
 // it with one pointer swap, so readers never block and never observe a
-// half-applied write. Compaction freezes a shard's delta, merges and
-// rebuilds off the write lock (writes continue into a fresh active
+// half-applied write. Compaction freezes a shard's delta, flushes or
+// merges off the write lock (writes continue into a fresh active
 // delta), and republishes the shard with another swap. See DESIGN.md
 // "Write path".
 package serve
@@ -22,6 +23,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -40,6 +42,33 @@ import (
 // It bounds both read-path overlay work and the copy-on-write cost of
 // individual writes.
 const DefaultCompactThreshold = 4096
+
+// DefaultMaxRuns is the per-shard sorted-run bound when Config.MaxRuns
+// is zero: enough tiers that a write burst flushes several deltas
+// without forcing an index re-tune, few enough that point reads stay
+// within a handful of run probes.
+const DefaultMaxRuns = 4
+
+// DefaultAmpBound is the measured read-amplification bound (run probes
+// per lookup) when Config.AmpBound is zero: a tiered shard whose
+// lookups average more probes than this is merged even below MaxRuns.
+const DefaultAmpBound = 2.5
+
+// ampMinWindow is the minimum lookup count in a shard's measurement
+// window before read amplification can trigger a merge — below it the
+// estimate is noise.
+const ampMinWindow = 4096
+
+// ampCheckEvery is the read-op stride between read-path amplification
+// evaluations, keeping the trigger check off the per-batch hot path.
+const ampCheckEvery = 1024
+
+// probeNsEstimate is the assumed cost in nanoseconds of one extra run
+// probe — the unit the tiering policy uses to convert a window's
+// lookup count into the read-time value of merging runs away. A
+// deliberate round figure for an out-of-cache search descent; only the
+// major-versus-minor tip point depends on it, never correctness.
+const probeNsEstimate = 100
 
 // Config configures a Store.
 type Config struct {
@@ -70,6 +99,19 @@ type Config struct {
 	// entirely (writes still land, Compact merges on demand).
 	CompactThreshold int
 
+	// MaxRuns bounds a shard's sorted-run count: a frozen delta flushes
+	// into a new tier run until the shard holds MaxRuns runs, then the
+	// tiering policy merges. 0 defaults to DefaultMaxRuns; 1 (or
+	// negative) disables tiering — every compaction merges the full
+	// shard and re-tunes its index, the classic single-run write path.
+	MaxRuns int
+
+	// AmpBound is the measured read-amplification (run probes per
+	// lookup, over the window since the shard's last merge) above which
+	// a tiered shard is merged even below MaxRuns. 0 defaults to
+	// DefaultAmpBound.
+	AmpBound float64
+
 	// SyncWrites, for a store attached to a snapshot directory (Open),
 	// fsyncs the shard's write-ahead log on every Put/Delete. Off by
 	// default: appends still reach the OS immediately (surviving a
@@ -86,21 +128,23 @@ type Store struct {
 	writeMu    []sync.Mutex   // per-shard single-writer locks
 	builders   []core.Builder // last builder used per shard; guarded by writeMu; nil until resolved on warm-opened shards
 	builderIDs []string       // registry config ID per shard (manifest codec tag); guarded by writeMu
+
 	builderFor func(shard int, keys []core.Key) (core.Builder, string, error)
 
 	// Persistence state (zero unless the store was opened from a
 	// snapshot directory): the attached directory (absolute), one live
 	// WAL per shard (slots guarded by writeMu), a mutex serializing
 	// snapshot/manifest commits, the last committed generation and
-	// manifest entries (guarded by persistMu), and the first background
-	// persistence failure.
+	// manifest entries (guarded by persistMu), the per-shard map of
+	// already-committed run files (guarded by persistMu), and the first
+	// background persistence failure.
 	dir           string
 	wals          []*persist.WAL
 	persistMu     sync.Mutex
 	exportMu      sync.Mutex // serializes foreign-directory Snapshots only
 	gen           uint64
 	meta          []persist.ShardMeta
-	lastPersisted []*table.Table // base committed at meta[i]; guarded by persistMu
+	persistedRuns []map[*table.Table]persist.RunMeta
 	persistErrMu  sync.Mutex
 	persistErr    error
 
@@ -109,21 +153,68 @@ type Store struct {
 	scratch   sync.Pool // *batchScratch
 	closed    atomic.Bool
 
-	compactC       chan int      // shard ids queued for background compaction
-	compactQueued  []atomic.Bool // per-shard: a request is already in compactC
-	compactWG      sync.WaitGroup
-	compactPending atomic.Int64 // queued or in-flight background requests
-	compactions    atomic.Uint64
-	compactNs      atomic.Int64
+	// Background-compaction work queue. One mutex guards the queue,
+	// the per-shard queued flags, the queued-or-running count, and the
+	// stop flag; compactCond wakes the compactor when work (or stop)
+	// arrives, idleCond wakes WaitCompactions waiters when the count
+	// drains to zero. requestCompact never drops a request and Close
+	// never races a send — the two liveness holes of the old
+	// channel-based queue.
+	compactMu      sync.Mutex
+	compactCond    *sync.Cond
+	idleCond       *sync.Cond
+	compactQueue   []int
+	compactQueued  []bool
+	compactPending int
+	compactStop    bool
+
+	compactWG   sync.WaitGroup
+	stats       []shardStats // per-shard read-amp accounting and merge-cost EWMAs
+	compactions atomic.Uint64
+	compactNs   atomic.Int64
+	flushes     atomic.Uint64
+	minorMerges atomic.Uint64
+	majorMerges atomic.Uint64
+}
+
+// shardStats carries one shard's measured read-amplification window
+// and rebuild-cost estimates. probes/ops accumulate from multi-run
+// reads only (a single-run shard has amplification 1 by construction
+// and pays no accounting); probes0/ops0 snapshot the window base at
+// the shard's last merge. The per-key cost EWMAs are measured from
+// actual compactions: major from full-merge index re-tunes, minor from
+// tier flushes and tier merges.
+type shardStats struct {
+	probes, ops   atomic.Int64
+	probes0, ops0 atomic.Int64
+	sinceCheck    atomic.Int64
+	majorNsPerKey atomic.Uint64 // math.Float64bits
+	minorNsPerKey atomic.Uint64 // math.Float64bits
+}
+
+func ewmaLoad(a *atomic.Uint64) float64 { return math.Float64frombits(a.Load()) }
+
+// ewmaUpdate folds one observation into a cost estimate: seeded by the
+// first observation, then smoothed so a single slow or fast merge
+// cannot whipsaw the policy.
+func ewmaUpdate(a *atomic.Uint64, obs float64) {
+	old := math.Float64frombits(a.Load())
+	if old == 0 {
+		a.Store(math.Float64bits(obs))
+		return
+	}
+	a.Store(math.Float64bits(0.7*old + 0.3*obs))
 }
 
 type job struct {
-	s     *shardState
-	keys  []core.Key
-	out   []uint64
-	fbits []bool // per-key found bits when non-nil (GetBatchFound)
-	found *atomic.Int64
-	wg    *sync.WaitGroup
+	s       *shardState
+	shard   int
+	keys    []core.Key
+	out     []uint64
+	scratch []bool // found-bit working space; the result itself for wantFound jobs
+	want    bool   // caller wants the found bits (GetBatchFound)
+	found   *atomic.Int64
+	wg      *sync.WaitGroup
 }
 
 type batchScratch struct {
@@ -170,6 +261,7 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 	if cfg.CompactThreshold == 0 {
 		cfg.CompactThreshold = DefaultCompactThreshold
 	}
+	normalizeTierConfig(&cfg)
 
 	st := &Store{cfg: cfg}
 	if cfg.BuilderFor != nil {
@@ -224,7 +316,9 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 				errs[i] = err
 				return
 			}
-			st.shards[i].Store(&shardState{tab: t, del: emptyDelta})
+			st.shards[i].Store(&shardState{
+				runs: []*table.Table{t}, runIDs: []string{st.builderIDs[i]}, del: emptyDelta,
+			})
 		}(i, lo, hi)
 	}
 	wg.Wait()
@@ -236,6 +330,20 @@ func New(keys []core.Key, payloads []uint64, cfg Config) (*Store, error) {
 	st.start()
 	return st, nil
 }
+
+// normalizeTierConfig resolves the tiering defaults (shared by New and
+// Open).
+func normalizeTierConfig(cfg *Config) {
+	if cfg.MaxRuns == 0 {
+		cfg.MaxRuns = DefaultMaxRuns
+	}
+	if cfg.AmpBound == 0 {
+		cfg.AmpBound = DefaultAmpBound
+	}
+}
+
+// tiered reports whether flushes may stack tier runs (MaxRuns > 1).
+func (st *Store) tiered() bool { return st.cfg.MaxRuns > 1 }
 
 // familyBuilderFor is the registry-backed shard builder used when no
 // custom BuilderFor is configured: the family's mid-sweep entry, with
@@ -262,8 +370,10 @@ func (st *Store) start() {
 	}
 	// One compactor: merges are CPU-bound index rebuilds, and a single
 	// goroutine keeps them off the serving cores; requests queue.
-	st.compactC = make(chan int, 2*nShards)
-	st.compactQueued = make([]atomic.Bool, nShards)
+	st.compactCond = sync.NewCond(&st.compactMu)
+	st.idleCond = sync.NewCond(&st.compactMu)
+	st.compactQueued = make([]bool, nShards)
+	st.stats = make([]shardStats, nShards)
 	st.compactWG.Add(1)
 	go st.compactor()
 }
@@ -288,26 +398,74 @@ func (st *Store) buildShard(i int, keys []core.Key, payloads []uint64) (*table.T
 func (st *Store) worker() {
 	defer st.workersWG.Done()
 	for j := range st.jobs {
-		if j.fbits != nil {
-			j.found.Add(int64(j.s.getBatchFound(j.keys, j.out, j.fbits)))
+		var n, probes int
+		if j.want {
+			n, probes = j.s.getBatchFound(j.keys, j.out, j.scratch)
 		} else {
-			j.found.Add(int64(j.s.getBatch(j.keys, j.out)))
+			n, probes = j.s.getBatch(j.keys, j.out, j.scratch)
+		}
+		j.found.Add(int64(n))
+		if probes > 0 {
+			st.noteReads(j.shard, probes, len(j.keys))
 		}
 		j.wg.Done()
 	}
 }
 
-// Close stops the worker pool and the background compactor, then syncs
-// and closes any attached write-ahead logs. No reads or writes may be
-// in flight or issued after Close; shard states remain readable
-// through Get.
+// noteReads folds a multi-run read's probe count into the shard's
+// amplification window, and every ampCheckEvery ops re-evaluates the
+// read-path merge trigger — so a shard whose writes stopped but whose
+// reads still pay tiered probes gets merged without waiting for the
+// next write.
+func (st *Store) noteReads(i, probes, ops int) {
+	ss := &st.stats[i]
+	ss.probes.Add(int64(probes))
+	ss.ops.Add(int64(ops))
+	if ss.sinceCheck.Add(int64(ops)) < ampCheckEvery {
+		return
+	}
+	ss.sinceCheck.Store(0)
+	s := st.shards[i].Load()
+	if len(s.runs) > 1 && s.frozen == nil && st.ampWindowExceeded(i) {
+		st.requestCompact(i)
+	}
+}
+
+// ampWindowExceeded reports whether shard i's measured read
+// amplification since its last merge exceeds the configured bound
+// (with at least ampMinWindow lookups of evidence).
+func (st *Store) ampWindowExceeded(i int) bool {
+	ss := &st.stats[i]
+	ops := ss.ops.Load() - ss.ops0.Load()
+	if ops < ampMinWindow {
+		return false
+	}
+	probes := ss.probes.Load() - ss.probes0.Load()
+	return float64(probes) > st.cfg.AmpBound*float64(ops)
+}
+
+// resetAmpWindow re-bases shard i's amplification window after a merge
+// changed its run structure.
+func (st *Store) resetAmpWindow(i int) {
+	ss := &st.stats[i]
+	ss.probes0.Store(ss.probes.Load())
+	ss.ops0.Store(ss.ops.Load())
+}
+
+// Close stops the worker pool and the background compactor (draining
+// any queued compactions first), then syncs and closes any attached
+// write-ahead logs. No reads or writes may be in flight or issued
+// after Close; shard states remain readable through Get.
 func (st *Store) Close() {
 	if st.closed.Swap(true) {
 		return
 	}
 	close(st.jobs)
 	st.workersWG.Wait()
-	close(st.compactC)
+	st.compactMu.Lock()
+	st.compactStop = true
+	st.compactCond.Broadcast()
+	st.compactMu.Unlock()
 	st.compactWG.Wait()
 	for i := range st.wals {
 		st.writeMu[i].Lock()
@@ -378,13 +536,16 @@ func (st *Store) Len() int {
 	return total
 }
 
-// SizeBytes reports the summed index footprint across shards plus the
-// pending delta buffers.
+// SizeBytes reports the summed index footprint across every shard's
+// runs plus the pending delta buffers.
 func (st *Store) SizeBytes() int {
 	total := 0
 	for i := range st.shards {
 		s := st.shards[i].Load()
-		total += s.tab.SizeBytes() + s.del.sizeBytes()
+		for _, t := range s.runs {
+			total += t.SizeBytes()
+		}
+		total += s.del.sizeBytes()
 		if s.frozen != nil {
 			total += s.frozen.sizeBytes()
 		}
@@ -403,36 +564,84 @@ func (st *Store) DeltaLen() int {
 }
 
 // Compactions reports the number of completed shard compactions
-// (background and manual).
+// (background and manual; flushes and merges both count).
 func (st *Store) Compactions() uint64 { return st.compactions.Load() }
 
-// CompactTime reports the cumulative wall time spent merging deltas
-// and rebuilding shard indexes — the rebuild-cost axis of the
-// write-path tradeoff.
+// CompactTime reports the cumulative wall time spent flushing deltas,
+// merging runs and rebuilding shard indexes — the rebuild-cost axis of
+// the write-path tradeoff.
 func (st *Store) CompactTime() time.Duration {
 	return time.Duration(st.compactNs.Load())
 }
 
-// Shard returns shard i's current base table (a consistent immutable
-// snapshot; pending delta writes are not reflected in it).
-func (st *Store) Shard(i int) *table.Table { return st.shards[i].Load().tab }
+// Flushes reports the number of delta-to-tier-run flushes (tiered
+// stores only; a single-run store merges instead of flushing).
+func (st *Store) Flushes() uint64 { return st.flushes.Load() }
+
+// MinorMerges reports the number of tier-run consolidations that left
+// the base run (and its tuned index) untouched.
+func (st *Store) MinorMerges() uint64 { return st.minorMerges.Load() }
+
+// MajorMerges reports the number of full-shard merges that rebuilt
+// (and for learned families re-tuned) the base index.
+func (st *Store) MajorMerges() uint64 { return st.majorMerges.Load() }
+
+// RunCount reports shard i's current sorted-run count (1 = fully
+// compacted).
+func (st *Store) RunCount(i int) int { return len(st.shards[i].Load().runs) }
+
+// MaxRunCount reports the largest run count across shards.
+func (st *Store) MaxRunCount() int {
+	m := 0
+	for i := range st.shards {
+		if n := st.RunCount(i); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// ReadAmp reports the measured read amplification — run probes per
+// lookup — accumulated over reads that hit tiered (multi-run) shard
+// states. Reads on fully-compacted shards probe exactly one run and
+// are not accumulated; a store that never tiered reports 1.
+func (st *Store) ReadAmp() float64 {
+	var probes, ops int64
+	for i := range st.stats {
+		probes += st.stats[i].probes.Load()
+		ops += st.stats[i].ops.Load()
+	}
+	if ops == 0 {
+		return 1
+	}
+	return float64(probes) / float64(ops)
+}
+
+// Shard returns shard i's current base run (a consistent immutable
+// snapshot; pending deltas and newer tier runs are not reflected).
+func (st *Store) Shard(i int) *table.Table { return st.shards[i].Load().base() }
 
 // Get returns the live payload for key, or false when absent. Pending
-// writes shadow the base table.
+// writes shadow the runs; newer runs shadow older.
 func (st *Store) Get(key core.Key) (uint64, bool) {
-	return st.shards[st.shardOf(key)].Load().get(key)
+	i := st.shardOf(key)
+	v, ok, probes := st.shards[i].Load().get(key)
+	if probes > 0 {
+		st.noteReads(i, probes, 1)
+	}
+	return v, ok
 }
 
 // Put inserts or updates key with payload. The write is visible to
 // every subsequent read (same or other goroutines) as soon as Put
-// returns; it lands in the shard's delta buffer and is merged into the
-// shard's index by a later compaction.
+// returns; it lands in the shard's delta buffer and is flushed or
+// merged into the shard's run set by a later compaction.
 func (st *Store) Put(key core.Key, payload uint64) {
 	st.write(key, payload, false)
 }
 
 // Delete removes key. Deleting an absent key is a no-op that still
-// costs a tombstone until the next compaction.
+// costs a tombstone until the next major merge.
 func (st *Store) Delete(key core.Key) {
 	st.write(key, 0, true)
 }
@@ -455,7 +664,7 @@ func (st *Store) write(key core.Key, payload uint64, tomb bool) {
 		}
 	}
 	s := st.shards[i].Load()
-	ns := &shardState{tab: s.tab, del: s.del.with(key, payload, tomb), frozen: s.frozen}
+	ns := &shardState{runs: s.runs, runIDs: s.runIDs, del: s.del.with(key, payload, tomb), frozen: s.frozen}
 	st.shards[i].Store(ns)
 	trigger := st.cfg.CompactThreshold > 0 &&
 		ns.del.len() >= st.cfg.CompactThreshold && ns.frozen == nil
@@ -468,48 +677,62 @@ func (st *Store) write(key core.Key, payload uint64, tomb bool) {
 // requestCompact queues shard i for background compaction, at most one
 // outstanding request per shard (a burst of writes past the threshold
 // would otherwise flood the queue with duplicates and starve the other
-// shards). A dropped or deduplicated signal is recovered by the next
-// write past the threshold: the trigger re-fires on every such write.
+// shards). The request is never dropped: the queue is unbounded and
+// grows under the same mutex that dedupes it, so a shard past its
+// threshold is compacted even if its writes stop the moment the
+// trigger fires. After Close has stopped the compactor, requests are
+// refused under that same mutex — there is no window where a request
+// can be accepted and never served.
 func (st *Store) requestCompact(i int) {
-	if st.closed.Load() {
+	st.compactMu.Lock()
+	if st.compactStop || st.compactQueued[i] {
+		st.compactMu.Unlock()
 		return
 	}
-	if st.compactQueued[i].Swap(true) {
-		return // already queued
-	}
-	// Pending is raised before the send: the compactor may pop and
-	// finish the request immediately, and WaitCompactions must never
-	// observe a queued-or-running compaction as already drained.
-	st.compactPending.Add(1)
-	select {
-	case st.compactC <- i:
-	default: // unreachable at cap 2*shards, but never wedge
-		st.compactPending.Add(-1)
-		st.compactQueued[i].Store(false)
-	}
+	st.compactQueued[i] = true
+	st.compactQueue = append(st.compactQueue, i)
+	st.compactPending++
+	st.compactCond.Signal()
+	st.compactMu.Unlock()
 }
 
 // WaitCompactions blocks until every background compaction queued so
-// far has completed. Unlike Compact it forces nothing: shards below
-// the threshold keep their deltas.
+// far has completed, parked on a condition variable (a learned-index
+// re-tune runs for milliseconds; spinning would pin a core for the
+// duration). Unlike Compact it forces nothing: shards below the
+// threshold keep their deltas.
 func (st *Store) WaitCompactions() {
-	for st.compactPending.Load() > 0 {
-		runtime.Gosched()
+	st.compactMu.Lock()
+	for st.compactPending > 0 {
+		st.idleCond.Wait()
 	}
+	st.compactMu.Unlock()
 }
 
-// compactor drains the request queue. A shard whose active delta
-// refilled past the threshold during its own merge is re-compacted in
-// place (looping here rather than re-queueing keeps the compactor the
-// channel's only consumer and never a producer, so Close can close the
-// queue without racing a send). Rebuild errors fold the delta back and
-// stop the loop for that request; see compactShard.
+// compactor serves the work queue. A shard whose active delta refilled
+// past the threshold during its own compaction is re-compacted in
+// place. On stop the queue is drained before exit, so every accepted
+// request completes and WaitCompactions waiters are always released.
+// Rebuild errors fold the delta back and stop the loop for that
+// request; see compactShard.
 func (st *Store) compactor() {
 	defer st.compactWG.Done()
-	for i := range st.compactC {
-		st.compactQueued[i].Store(false)
+	st.compactMu.Lock()
+	for {
+		for len(st.compactQueue) == 0 && !st.compactStop {
+			st.compactCond.Wait()
+		}
+		if len(st.compactQueue) == 0 {
+			st.compactMu.Unlock()
+			return // stopped and drained
+		}
+		i := st.compactQueue[0]
+		st.compactQueue = st.compactQueue[1:]
+		st.compactQueued[i] = false
+		st.compactMu.Unlock()
+
 		for {
-			if err := st.compactShard(i); err != nil {
+			if err := st.compactShard(i, false); err != nil {
 				break
 			}
 			s := st.shards[i].Load()
@@ -518,32 +741,156 @@ func (st *Store) compactor() {
 				break
 			}
 		}
-		st.compactPending.Add(-1)
+
+		st.compactMu.Lock()
+		st.compactPending--
+		if st.compactPending == 0 {
+			st.idleCond.Broadcast()
+		}
 	}
 }
 
-// compactShard freezes shard i's active delta, merges it with the base
-// run and rebuilds the shard's index off the write lock (writes
-// continue into a fresh active delta, readers continue on the frozen
-// snapshot), then publishes the merged table with one pointer swap —
-// the same build-aside machinery as Replace. A shard already being
-// compacted, or with nothing pending, is a no-op.
-func (st *Store) compactShard(i int) error {
+// compactShard runs one compaction round on shard i: freeze the active
+// delta (writes continue into a fresh one, readers continue on the
+// frozen snapshot), then off the write lock either flush it into a new
+// tier run, consolidate runs per the tiering policy, or — under force,
+// the Compact path — merge everything into a single freshly indexed
+// base run; finally publish the new run set with one pointer swap. A
+// shard already being compacted is a no-op, as is a clean single-run
+// shard. A compaction with an empty delta (merge-only: triggered by
+// read amplification or force) freezes a fresh empty-delta marker so
+// the publish-time conflict check still detects an intervening
+// Replace.
+func (st *Store) compactShard(i int, force bool) error {
 	st.writeMu[i].Lock()
 	s := st.shards[i].Load()
-	if s.frozen != nil || s.del.len() == 0 {
+	// A clean shard is still compactable when the tiering policy has
+	// work pending: a run count over the bound, or a read-amp trigger
+	// (the merge-only compaction a pure read load can queue).
+	policyPending := st.tiered() && len(s.runs) > 1 &&
+		(len(s.runs) > st.cfg.MaxRuns || st.ampWindowExceeded(i))
+	if s.frozen != nil || (s.del.len() == 0 && (!force || s.single()) && !policyPending) {
 		st.writeMu[i].Unlock()
 		return nil
 	}
 	frozen := s.del
-	st.shards[i].Store(&shardState{tab: s.tab, del: emptyDelta, frozen: frozen})
-	base := s.tab
+	if frozen.len() == 0 {
+		frozen = &delta{} // unique identity for the merge-only conflict check
+	}
+	st.shards[i].Store(&shardState{runs: s.runs, runIDs: s.runIDs, del: emptyDelta, frozen: frozen})
 	builder := st.builders[i]
 	builderID := st.builderIDs[i]
 	st.writeMu[i].Unlock()
 
 	start := time.Now()
-	keys, vals := mergeDelta(base.Keys(), base.Payloads(), frozen)
+	res, err := st.buildCompacted(i, s, frozen, builder, builderID, force)
+
+	st.writeMu[i].Lock()
+	s2 := st.shards[i].Load()
+	if s2.frozen != frozen {
+		// A Replace superseded the shard wholesale; drop the work.
+		st.writeMu[i].Unlock()
+		return nil
+	}
+	if err != nil {
+		// Rebuild failed: fold the frozen delta back under the writes
+		// that arrived meanwhile so nothing is lost.
+		st.shards[i].Store(&shardState{runs: s2.runs, runIDs: s2.runIDs, del: frozen.overlay(s2.del)})
+		st.writeMu[i].Unlock()
+		return fmt.Errorf("serve: compact shard %d: %w", i, err)
+	}
+	st.builders[i] = res.builder
+	st.builderIDs[i] = res.builderID // keeps the manifest codec tag tracking re-tunes
+	st.shards[i].Store(&shardState{runs: res.runs, runIDs: res.runIDs, del: s2.del})
+	st.writeMu[i].Unlock()
+	if res.merged {
+		st.resetAmpWindow(i)
+	}
+	st.compactions.Add(1)
+	st.compactNs.Add(time.Since(start).Nanoseconds())
+	// For an attached store the new run set is made durable now, then
+	// the shard's WAL is truncated to the still-pending writes. On
+	// failure the old on-disk state stays authoritative — replaying the
+	// full old WAL over the old run set reproduces exactly the state
+	// just published, so nothing is lost, and PersistErr reports it.
+	if st.dir != "" {
+		if perr := st.persistShard(i); perr != nil {
+			st.notePersistErr(perr)
+		}
+	}
+	return nil
+}
+
+// compactResult is the outcome of a compaction's off-lock build phase.
+type compactResult struct {
+	runs      []*table.Table
+	runIDs    []string
+	builder   core.Builder
+	builderID string
+	merged    bool // run structure shrank (minor or major): re-base the amp window
+}
+
+// buildCompacted performs a compaction's heavy lifting off the shard's
+// write lock: flush the frozen delta to a tier run, and when the
+// tiering policy (run count or measured read amplification over the
+// bound) demands it, consolidate — a minor merge folds the upper tier
+// runs into one tombstone-carrying run and leaves the base index
+// untouched, a major merge rewrites the whole shard and re-tunes its
+// index. Under force (or with tiering disabled) it always majors: the
+// Compact contract is a fully merged, tombstone-free single run.
+func (st *Store) buildCompacted(i int, s *shardState, frozen *delta, builder core.Builder, builderID string, force bool) (compactResult, error) {
+	runs, runIDs := s.runs, s.runIDs
+	if !force && st.tiered() {
+		if frozen.len() > 0 {
+			t0 := time.Now()
+			fr, fid, err := st.buildTierRun(builderID, frozen.keys, frozen.vals, frozen.tombs)
+			if err != nil {
+				return compactResult{}, err
+			}
+			ewmaUpdate(&st.stats[i].minorNsPerKey, float64(time.Since(t0).Nanoseconds())/float64(frozen.len()))
+			runs = append(append([]*table.Table{}, runs...), fr)
+			runIDs = append(append([]string{}, runIDs...), fid)
+			st.flushes.Add(1)
+		}
+		if len(runs) <= st.cfg.MaxRuns && !st.ampWindowExceeded(i) {
+			return compactResult{runs: runs, runIDs: runIDs, builder: builder, builderID: builderID}, nil
+		}
+		if !st.chooseMajor(i, runs) {
+			layers := make([]mergeLayer, 0, len(runs)-1)
+			for _, t := range runs[1:] {
+				layers = append(layers, runLayer(t))
+			}
+			t0 := time.Now()
+			k, v, tb := mergeLayers(layers, false)
+			mr, mid, err := st.buildTierRun(builderID, k, v, tb)
+			if err != nil {
+				return compactResult{}, err
+			}
+			if len(k) > 0 {
+				ewmaUpdate(&st.stats[i].minorNsPerKey, float64(time.Since(t0).Nanoseconds())/float64(len(k)))
+			}
+			st.minorMerges.Add(1)
+			return compactResult{
+				runs:   []*table.Table{runs[0], mr},
+				runIDs: []string{runIDs[0], mid},
+				builder: builder, builderID: builderID, merged: true,
+			}, nil
+		}
+		// Major path below merges the runs (the flush above already
+		// absorbed the frozen delta into the newest run).
+		frozen = emptyDelta
+	}
+
+	// Major merge: every run plus the frozen delta into one
+	// tombstone-free base run with a freshly built (for learned
+	// families re-tuned) index.
+	layers := make([]mergeLayer, 0, len(runs)+1)
+	for _, t := range runs {
+		layers = append(layers, runLayer(t))
+	}
+	layers = append(layers, deltaLayer(frozen))
+	t0 := time.Now()
+	keys, vals, _ := mergeLayers(layers, true)
 	var nt *table.Table
 	var err error
 	if len(keys) == 0 {
@@ -565,39 +912,63 @@ func (st *Store) compactShard(i int) error {
 			}
 		}
 	}
-
-	st.writeMu[i].Lock()
-	s2 := st.shards[i].Load()
-	if s2.frozen != frozen {
-		// A Replace superseded the shard wholesale; drop the merge.
-		st.writeMu[i].Unlock()
-		return nil
-	}
 	if err != nil {
-		// Rebuild failed: fold the frozen delta back under the writes
-		// that arrived meanwhile so nothing is lost.
-		st.shards[i].Store(&shardState{tab: s2.tab, del: frozen.overlay(s2.del)})
-		st.writeMu[i].Unlock()
-		return fmt.Errorf("serve: compact shard %d: %w", i, err)
+		return compactResult{}, err
 	}
-	st.builders[i] = builder
-	st.builderIDs[i] = builderID // keeps the manifest codec tag tracking re-tunes
-	st.shards[i].Store(&shardState{tab: nt, del: s2.del})
-	st.writeMu[i].Unlock()
-	st.compactions.Add(1)
-	st.compactNs.Add(time.Since(start).Nanoseconds())
-	// For an attached store the merge is made durable now: the new
-	// base and index are committed to the snapshot directory, then the
-	// shard's WAL is truncated to the still-pending writes. On failure
-	// the old on-disk pair stays authoritative — replaying the full
-	// old WAL over the old base reproduces exactly the state just
-	// published, so nothing is lost, and PersistErr reports it.
-	if st.dir != "" {
-		if perr := st.persistShard(i); perr != nil {
-			st.notePersistErr(perr)
+	if len(keys) > 0 {
+		ewmaUpdate(&st.stats[i].majorNsPerKey, float64(time.Since(t0).Nanoseconds())/float64(len(keys)))
+	}
+	st.majorMerges.Add(1)
+	return compactResult{
+		runs: []*table.Table{nt}, runIDs: []string{builderID},
+		builder: builder, builderID: builderID, merged: true,
+	}, nil
+}
+
+// chooseMajor decides a triggered consolidation's destination: fold
+// the upper tiers into one run (minor — cheap, but the base keeps
+// amplifying reads by one extra probe) or rewrite the whole shard
+// (major — pays the measured index re-tune). The extra cost of a major
+// is estimated from the per-key cost EWMAs measured on this shard's
+// own past compactions — a learned family's re-tune prices majors high
+// where a B-tree's bulk load prices them near a minor — and weighed
+// against the read-amp reduction: the lookups of the current window,
+// each saved about one run probe by the deeper merge.
+func (st *Store) chooseMajor(i int, runs []*table.Table) bool {
+	if len(runs) <= 2 {
+		return true // one upper run: a minor merge would be a no-op
+	}
+	total, upper := 0, 0
+	for r, t := range runs {
+		total += t.Len()
+		if r > 0 {
+			upper += t.Len()
 		}
 	}
-	return nil
+	if total == 0 || 2*upper >= total {
+		return true // upper tiers rival the base: rewrite once, properly
+	}
+	ss := &st.stats[i]
+	majorNs := ewmaLoad(&ss.majorNsPerKey) * float64(total)
+	minorNs := ewmaLoad(&ss.minorNsPerKey) * float64(upper)
+	saved := float64(ss.ops.Load()-ss.ops0.Load()) * probeNsEstimate
+	return majorNs-minorNs <= saved
+}
+
+// buildTierRun indexes a small run (a flushed delta or a minor merge)
+// with the cheap tier entry of the shard's family — binary search or a
+// coarse learned bound, never the full per-base tuning.
+func (st *Store) buildTierRun(builderID string, keys []core.Key, vals []uint64, tombs []bool) (*table.Table, string, error) {
+	if len(keys) == 0 {
+		return table.Empty(st.cfg.Search), "BS", nil
+	}
+	family, _ := registry.ParseID(builderID)
+	nb, id := registry.TierBuilder(family, keys)
+	t, err := table.BuildTombed(nb.Builder, keys, vals, tombs, st.cfg.Search)
+	if err != nil {
+		return nil, "", err
+	}
+	return t, id, nil
 }
 
 // resolveRebuild picks the builder (and its codec tag) for re-indexing
@@ -625,13 +996,14 @@ func resolveRebuild(prev core.Builder, id string, keys []core.Key) (core.Builder
 	return nil, "", fmt.Errorf("serve: cannot resolve builder for codec tag %q", id)
 }
 
-// Compact synchronously merges every shard's pending writes into its
-// base table, waiting out any in-flight background compactions. It is
-// safe alongside concurrent reads and writes, but it keeps re-merging
-// a shard until its delta is empty, so a continuous concurrent write
-// load can keep it from returning — quiesce writers when a
-// guaranteed-complete checkpoint is needed. Intended for checkpoints,
-// tests, and read-latency-sensitive phases.
+// Compact synchronously merges every shard's runs and pending writes
+// into a single tombstone-free base run, waiting out any in-flight
+// background compactions. It is safe alongside concurrent reads and
+// writes, but it keeps re-merging a shard until its delta is empty and
+// one run remains, so a continuous concurrent write load can keep it
+// from returning — quiesce writers when a guaranteed-complete
+// checkpoint is needed. Intended for checkpoints, tests, and
+// read-latency-sensitive phases.
 func (st *Store) Compact() error {
 	for i := range st.shards {
 		for {
@@ -640,10 +1012,10 @@ func (st *Store) Compact() error {
 				runtime.Gosched() // background merge in flight; wait for its publish
 				continue
 			}
-			if s.del.len() == 0 {
+			if s.del.len() == 0 && s.single() {
 				break
 			}
-			if err := st.compactShard(i); err != nil {
+			if err := st.compactShard(i, true); err != nil {
 				return err
 			}
 		}
@@ -654,9 +1026,9 @@ func (st *Store) Compact() error {
 // GetBatch looks up a batch of keys across all shards: out[i] receives
 // the live payload for keys[i] (0 when absent) and the number found is
 // returned. Keys are gathered per shard, served by the worker pool as
-// one batched job per shard (base-table fast path plus delta overlay),
-// and scattered back, so a batch touching S shards runs on up to S
-// workers concurrently.
+// one batched job per shard (run-set probe plus delta overlay), and
+// scattered back, so a batch touching S shards runs on up to S workers
+// concurrently.
 func (st *Store) GetBatch(keys []core.Key, out []uint64) int {
 	if len(out) < len(keys) {
 		panic("serve: GetBatch output shorter than key batch")
@@ -717,17 +1089,16 @@ func (st *Store) getBatchInto(keys []core.Key, out []uint64, fbits []bool) int {
 			continue
 		}
 		wg.Add(1)
-		j := job{
-			s:     st.shards[sh].Load(),
-			keys:  s.gkeys[lo:hi],
-			out:   s.gout[lo:hi],
-			found: &found,
-			wg:    &wg,
+		st.jobs <- job{
+			s:       st.shards[sh].Load(),
+			shard:   sh,
+			keys:    s.gkeys[lo:hi],
+			out:     s.gout[lo:hi],
+			scratch: s.gfound[lo:hi],
+			want:    fbits != nil,
+			found:   &found,
+			wg:      &wg,
 		}
-		if fbits != nil {
-			j.fbits = s.gfound[lo:hi]
-		}
-		st.jobs <- j
 	}
 	wg.Wait()
 
@@ -804,13 +1175,13 @@ func (s *batchScratch) ensure(n, nShards int) {
 }
 
 // Replace rebuilds shard i over new data, discarding the shard's
-// pending delta writes (Replace supersedes them wholesale; an in-flight
-// compaction of the shard is abandoned at publish time). keys must be
-// sorted, stay within the shard's key range (first key equal to the
-// shard's separator, last key below the next separator), and match
-// payloads in length. Replace is the single-writer path: concurrent
-// writes on one shard serialize, readers continue on the old state
-// until the atomic swap.
+// pending delta writes and tier runs (Replace supersedes them
+// wholesale; an in-flight compaction of the shard is abandoned at
+// publish time). keys must be sorted, stay within the shard's key
+// range (first key equal to the shard's separator, last key below the
+// next separator), and match payloads in length. Replace is the
+// single-writer path: concurrent writes on one shard serialize,
+// readers continue on the old state until the atomic swap.
 func (st *Store) Replace(i int, keys []core.Key, payloads []uint64) error {
 	if i < 0 || i >= len(st.shards) {
 		return fmt.Errorf("serve: no shard %d", i)
@@ -830,7 +1201,7 @@ func (st *Store) Replace(i int, keys []core.Key, payloads []uint64) error {
 		st.writeMu[i].Unlock()
 		return err
 	}
-	st.shards[i].Store(&shardState{tab: t, del: emptyDelta})
+	st.shards[i].Store(&shardState{runs: []*table.Table{t}, runIDs: []string{st.builderIDs[i]}, del: emptyDelta})
 	st.writeMu[i].Unlock()
 	// An attached store makes the replacement durable immediately (and
 	// truncates the superseded WAL entries with it). The replacement

@@ -1,0 +1,199 @@
+package table
+
+// The LSM run-set read path: a shard of the serving layer holds an
+// ordered set of sorted runs (oldest first; newer runs shadow older
+// ones, and a tombstone in a newer run hides every older occurrence of
+// its key). FindBatch is the per-run primitive — the same pipelined
+// block machinery as GetBatch, but resolving positions and presence
+// bits instead of gathering payloads, so the caller can consult the
+// run's tombstone bits. GetBatchRuns composes it across a run set:
+// each run is probed once with the still-unresolved subset of the
+// batch, newest run first, so the pipelined probe rounds are reused
+// per run and the total probe count (the read-amplification numerator)
+// falls as keys resolve early.
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/search"
+)
+
+// FindBatch resolves the lower-bound position of every key: pos[i]
+// receives the position (clamped into [0, Len]) and hit[i] whether the
+// pair at pos[i] carries keys[i]. len(pos) and len(hit) must be at
+// least len(keys). It runs the same block pipeline as GetBatch —
+// batched bound prediction, pipelined probe rounds, scalar last mile
+// with sorted-probe reuse.
+func (t *Table) FindBatch(keys []core.Key, pos []int32, hit []bool) {
+	if len(pos) < len(keys) || len(hit) < len(keys) {
+		panic("table: FindBatch output shorter than key batch")
+	}
+	var bounds [batchBlock]core.Bound
+	for off := 0; off < len(keys); off += batchBlock {
+		end := off + batchBlock
+		if end > len(keys) {
+			end = len(keys)
+		}
+		t.findBlock(keys[off:end], pos[off:end], hit[off:end], bounds[:end-off])
+	}
+}
+
+// findBlock resolves one block of at most batchBlock keys.
+func (t *Table) findBlock(chunk []core.Key, pos []int32, hit []bool, bs []core.Bound) {
+	core.LookupBatch(t.idx, chunk, bs)
+
+	keys := t.keys
+	n := len(keys)
+	if n == 0 {
+		for i := range chunk {
+			pos[i], hit[i] = 0, false
+		}
+		return
+	}
+	if n >= pipelineMinKeys {
+		search.NarrowBatch(keys, chunk, bs, narrowWidth, maxProbeRounds)
+	}
+
+	prevPos := 0
+	var prevKey core.Key
+	bs = bs[:len(chunk)]
+	pos = pos[:len(chunk)]
+	hit = hit[:len(chunk)]
+	for i, x := range chunk {
+		b := bs[i]
+		if x >= prevKey && prevPos > b.Lo {
+			b.Lo = prevPos
+			if b.Lo > b.Hi {
+				b.Lo = b.Hi
+			}
+		}
+		p := t.fn(keys, x, b)
+		prevPos, prevKey = p, x
+		pos[i] = int32(p)
+		hit[i] = p < n && keys[p] == x
+	}
+}
+
+// runScratch is the reusable working set of GetBatchRuns: the gathered
+// unresolved-key subset, its per-run probe results, and the two
+// ping-pong lists of still-unresolved batch positions.
+type runScratch struct {
+	keys []core.Key
+	pos  []int32
+	hit  []bool
+	idx  []int32
+	next []int32
+}
+
+var runScratchPool = sync.Pool{New: func() any { return &runScratch{} }}
+
+func (s *runScratch) ensure(n int) {
+	if cap(s.keys) < n {
+		s.keys = make([]core.Key, n)
+		s.pos = make([]int32, n)
+		s.hit = make([]bool, n)
+		s.idx = make([]int32, n)
+		s.next = make([]int32, n)
+	}
+}
+
+// GetBatchRuns serves a merged batched lookup across an ordered run
+// set: runs[0] is the oldest (base) run, runs[len-1] the newest; a key
+// resolves at its newest occurrence, and a tombstone occurrence
+// resolves the key as absent, shadowing every older run. out[i]
+// receives the live payload of keys[i] (0 when absent) and found[i]
+// its presence bit; both must be at least len(keys) long. It returns
+// the number of present keys and the total number of per-run probes
+// issued — the numerator of the measured read amplification
+// (probes/keys == 1 when every key resolves in the newest run).
+func GetBatchRuns(runs []*Table, keys []core.Key, out []uint64, found []bool) (hits, probes int) {
+	n := len(keys)
+	if len(out) < n || len(found) < n {
+		panic("table: GetBatchRuns output shorter than key batch")
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	for i := range keys {
+		out[i], found[i] = 0, false
+	}
+
+	s := runScratchPool.Get().(*runScratch)
+	s.ensure(n)
+	active := s.idx[:n]
+	for i := range active {
+		active[i] = int32(i)
+	}
+	spare := s.next[:0]
+
+	for r := len(runs) - 1; r >= 0 && len(active) > 0; r-- {
+		t := runs[r]
+		if t.Len() == 0 {
+			continue
+		}
+		m := len(active)
+		probes += m
+		sub := s.keys[:m]
+		for j, id := range active {
+			sub[j] = keys[id]
+		}
+		t.FindBatch(sub, s.pos[:m], s.hit[:m])
+		next := spare[:0]
+		for j, id := range active {
+			if !s.hit[j] {
+				next = append(next, id)
+				continue
+			}
+			p := int(s.pos[j])
+			if t.tombs != nil && t.tombs[p] {
+				continue // resolved: newest occurrence is a tombstone
+			}
+			out[id] = t.payloads[p]
+			found[id] = true
+			hits++
+		}
+		active, spare = next, active
+	}
+	s.idx, s.next = s.idx[:cap(s.idx)], s.next[:cap(s.next)]
+	runScratchPool.Put(s)
+	return hits, probes
+}
+
+// RangeTombed returns the keys, payloads, and tombstone bits with key
+// in [lo, hi), as views into the table's arrays (zero-copy; callers
+// must not mutate them). tombs is nil when the table carries none.
+func (t *Table) RangeTombed(lo, hi core.Key) ([]core.Key, []uint64, []bool) {
+	start := t.lowerBound(lo)
+	if hi < lo {
+		hi = lo
+	}
+	end := t.lowerBound(hi)
+	var tombs []bool
+	if t.tombs != nil {
+		tombs = t.tombs[start:end]
+	}
+	return t.keys[start:end], t.payloads[start:end], tombs
+}
+
+// GetRuns serves a merged point read across an ordered run set (same
+// precedence as GetBatchRuns), returning the live payload, whether the
+// key is present, and the number of runs probed.
+func GetRuns(runs []*Table, key core.Key) (val uint64, ok bool, probes int) {
+	for r := len(runs) - 1; r >= 0; r-- {
+		t := runs[r]
+		if t.Len() == 0 {
+			continue
+		}
+		probes++
+		pos, hit := t.Find(key)
+		if !hit {
+			continue
+		}
+		if t.tombs != nil && t.tombs[pos] {
+			return 0, false, probes
+		}
+		return t.payloads[pos], true, probes
+	}
+	return 0, false, probes
+}

@@ -22,9 +22,17 @@ import (
 
 // Table is an immutable sorted run of key/payload pairs served through
 // a pluggable index. All read methods are safe for concurrent use.
+//
+// A Table built with NewTombed additionally carries a tombstone bit per
+// pair: the run participates in an LSM-tiered run set where a newer
+// run's tombstone must shadow older runs' occurrences of its key. Only
+// the run-set read path (GetBatchRuns, Find + TombAt) interprets the
+// bits; the plain single-table methods (Get, GetBatch, Range, Scan)
+// serve the raw pairs and are reserved for tombstone-free tables.
 type Table struct {
 	keys     []core.Key
 	payloads []uint64
+	tombs    []bool // optional tombstone bits, parallel to keys; nil = none
 	idx      core.Index
 	fn       search.Fn
 }
@@ -49,6 +57,29 @@ func New(keys []core.Key, payloads []uint64, idx core.Index, fn search.Fn) (*Tab
 	return &Table{keys: keys, payloads: payloads, idx: idx, fn: fn}, nil
 }
 
+// NewTombed wraps existing data plus a parallel tombstone-bit array in
+// a Table (see the type comment for tombstone semantics). tombs may be
+// nil (no tombstones) or exactly len(keys) long; an all-false array is
+// normalized to nil so HasTombs stays a cheap run-set fast-path gate.
+func NewTombed(keys []core.Key, payloads []uint64, tombs []bool, idx core.Index, fn search.Fn) (*Table, error) {
+	t, err := New(keys, payloads, idx, fn)
+	if err != nil {
+		return nil, err
+	}
+	if tombs != nil {
+		if len(tombs) != len(keys) {
+			return nil, errors.New("table: tombs and keys length mismatch")
+		}
+		for _, tb := range tombs {
+			if tb {
+				t.tombs = tombs
+				break
+			}
+		}
+	}
+	return t, nil
+}
+
 // Build constructs the index with b and wraps the result in a Table.
 func Build(b core.Builder, keys []core.Key, payloads []uint64, fn search.Fn) (*Table, error) {
 	idx, err := b.Build(keys)
@@ -56,6 +87,17 @@ func Build(b core.Builder, keys []core.Key, payloads []uint64, fn search.Fn) (*T
 		return nil, err
 	}
 	return New(keys, payloads, idx, fn)
+}
+
+// BuildTombed constructs the index with b and wraps data plus
+// tombstone bits in a Table — the constructor of freshly flushed or
+// minor-merged LSM runs.
+func BuildTombed(b core.Builder, keys []core.Key, payloads []uint64, tombs []bool, fn search.Fn) (*Table, error) {
+	idx, err := b.Build(keys)
+	if err != nil {
+		return nil, err
+	}
+	return NewTombed(keys, payloads, tombs, idx, fn)
 }
 
 // emptyIndex is the index of an empty table: every bound is the empty
@@ -100,6 +142,16 @@ func (t *Table) CountKey(key core.Key) int {
 	return n
 }
 
+// Tombs returns the table's tombstone-bit array as a view (nil when
+// the table carries none); callers must not mutate it.
+func (t *Table) Tombs() []bool { return t.tombs }
+
+// HasTombs reports whether any pair of the table is a tombstone.
+func (t *Table) HasTombs() bool { return t.tombs != nil }
+
+// TombAt reports whether the pair at position pos is a tombstone.
+func (t *Table) TombAt(pos int) bool { return t.tombs != nil && t.tombs[pos] }
+
 // Index returns the underlying search-bound index.
 func (t *Table) Index() core.Index { return t.idx }
 
@@ -137,6 +189,15 @@ func (t *Table) Get(key core.Key) (uint64, bool) {
 		return t.payloads[pos], true
 	}
 	return 0, false
+}
+
+// Find resolves key to its lower-bound position through the index and
+// last-mile search; found reports whether the pair at pos actually
+// carries key. Unlike Get it exposes the position, which is what the
+// LSM run-set read path needs to consult the tombstone bit.
+func (t *Table) Find(key core.Key) (pos int, found bool) {
+	pos = t.lowerBound(key)
+	return pos, pos < len(t.keys) && t.keys[pos] == key
 }
 
 // Range returns the keys and payloads with key in [lo, hi), as views
