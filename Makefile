@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet bench bench-smoke report-smoke race serve serve-write serve-lsm serve-tail serve-net persist fuzz-smoke examples doccheck perfgate perfgate-update
+.PHONY: tier1 vet bench bench-smoke report-smoke obs-smoke race serve serve-write serve-lsm serve-tail serve-net serve-obs persist fuzz-smoke examples doccheck perfgate perfgate-update
 
 # tier1 is the verify recipe: everything must build and every test pass.
 tier1:
@@ -28,12 +28,25 @@ report-smoke:
 	$(GO) run ./cmd/sosd -n 20000 -lookups 2000 -format json -o BENCH_smoke.json fig13
 	$(GO) run ./cmd/reportlint BENCH_smoke.json
 
+# obs-smoke is the live observability gate: start sosdserve with the
+# admin listener, scrape /metrics with metriclint (well-formedness plus
+# the serving conservation laws), and shut the server down. Fails if
+# the exposition is malformed or the counters contradict each other.
+obs-smoke:
+	$(GO) build -o /tmp/obs-smoke-sosdserve ./cmd/sosdserve
+	/tmp/obs-smoke-sosdserve -n 20000 -addr 127.0.0.1:17461 -admin 127.0.0.1:17462 & \
+	pid=$$!; \
+	$(GO) run ./cmd/metriclint -wait 10s -laws http://127.0.0.1:17462/metrics; ok=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	exit $$ok
+
 # race runs the concurrency-sensitive packages under the race detector
 # (serve includes the snapshot/restore map-oracle suite; net runs
 # concurrent clients against the server with compactions and a
-# snapshot racing the traffic).
+# snapshot racing the traffic; obs scrapes a registry while recorders
+# hammer it).
 race:
-	$(GO) test -race ./internal/serve/ ./internal/table/ ./internal/stats/ ./internal/load/ ./internal/persist/ ./internal/net/
+	$(GO) test -race ./internal/serve/ ./internal/table/ ./internal/stats/ ./internal/load/ ./internal/persist/ ./internal/net/ ./internal/obs/
 
 # serve prints the serving-layer experiment at a quick scale.
 serve:
@@ -58,6 +71,12 @@ serve-tail:
 # through coalescing + admission control, below and past capacity).
 serve-net:
 	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-net
+
+# serve-obs prints the observability conservation-law experiment
+# (metrics, traces, and journal checked against each other under a
+# mixed workload with compactions in flight).
+serve-obs:
+	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-obs
 
 # persist prints the cold-vs-warm restart experiment at a quick scale.
 persist:

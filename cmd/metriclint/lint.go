@@ -1,0 +1,309 @@
+package main
+
+// The exposition linter: a strict reader for the subset of the
+// Prometheus text format (version 0.0.4) the obs package emits. It is
+// deliberately harder to please than a real Prometheus scraper —
+// every sample must belong to a declared family, families must be
+// contiguous, and series must be unique — because its job is to catch
+// registry regressions, not to ingest arbitrary expositions.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Lint checks the whole exposition for well-formedness and returns
+// one problem string per violation (empty means clean).
+func Lint(text string) []string {
+	var problems []string
+	bad := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line+1, fmt.Sprintf(format, args...)))
+	}
+
+	typed := map[string]string{} // family -> declared type
+	closed := map[string]bool{}  // family -> samples ended (contiguity)
+	seen := map[string]bool{}    // full series id -> emitted
+	current := ""                // family whose block we are inside
+
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		if line == "" {
+			if i != len(lines)-1 {
+				bad(i, "blank line inside exposition")
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && f[1] == "HELP" {
+				continue
+			}
+			if len(f) != 4 || f[1] != "TYPE" {
+				bad(i, "malformed comment %q (want # TYPE <name> <type>)", line)
+				continue
+			}
+			name, typ := f[2], f[3]
+			if !validMetricName(name) {
+				bad(i, "invalid metric name %q in TYPE", name)
+			}
+			switch typ {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				bad(i, "unknown metric type %q", typ)
+			}
+			if _, dup := typed[name]; dup {
+				bad(i, "family %q declared twice", name)
+			}
+			typed[name] = typ
+			if current != "" {
+				closed[current] = true
+			}
+			current = name
+			continue
+		}
+
+		id, value, ok := splitSample(line)
+		if !ok {
+			bad(i, "malformed sample %q", line)
+			continue
+		}
+		if seen[id] {
+			bad(i, "duplicate series %q", id)
+		}
+		seen[id] = true
+		name, labels := splitName(id)
+		if !validMetricName(name) {
+			bad(i, "invalid metric name %q", name)
+			continue
+		}
+		if lp := lintLabels(labels); lp != "" {
+			bad(i, "%s in %q", lp, id)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			bad(i, "unparseable value %q", value)
+		}
+		family := familyOf(name, typed)
+		if family == "" {
+			bad(i, "sample %q has no TYPE declaration", name)
+			continue
+		}
+		if family != current {
+			bad(i, "sample of family %q inside block of %q (families must be contiguous)", family, current)
+		}
+		if closed[family] {
+			bad(i, "family %q resumed after other samples (families must be contiguous)", family)
+		}
+	}
+	return problems
+}
+
+// Values flattens the exposition into series-id -> value, for law
+// checking. Malformed lines are skipped (Lint reports them).
+func Values(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, value, ok := splitSample(line)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			continue
+		}
+		out[id] = v
+	}
+	return out
+}
+
+// CheckLaws verifies the serving stack's conservation laws on the
+// scraped values. A missing series fails: a law that cannot be
+// evaluated is indistinguishable from a broken registry.
+func CheckLaws(vals map[string]float64) []string {
+	var problems []string
+	get := func(id string) (float64, bool) {
+		v, ok := vals[id]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("law needs series %q, not in exposition", id))
+		}
+		return v, ok
+	}
+	check := func(desc string, holds bool) {
+		if !holds {
+			problems = append(problems, "law violated: "+desc)
+		}
+	}
+
+	if keys, ok1 := get("sosd_net_batched_keys_total"); ok1 {
+		if acc, ok2 := get("sosd_net_accepted_total"); ok2 {
+			check(fmt.Sprintf("batched keys %v <= accepted %v", keys, acc), keys <= acc)
+		}
+	}
+	if fl, ok1 := get("sosd_store_flushes_total"); ok1 {
+		if fr, ok2 := get("sosd_store_delta_freezes_total"); ok2 {
+			check(fmt.Sprintf("flushes %v == delta freezes %v", fl, fr), fl == fr)
+		}
+	}
+	if pr, ok1 := get("sosd_store_run_probes_total"); ok1 {
+		if mo, ok2 := get("sosd_store_multirun_ops_total"); ok2 {
+			check(fmt.Sprintf("run probes %v >= multirun ops %v", pr, mo), pr >= mo)
+		}
+	}
+	if lc, ok1 := get("sosd_net_latency_ns_count"); ok1 {
+		if acc, ok2 := get("sosd_net_accepted_total"); ok2 {
+			check(fmt.Sprintf("latency count %v <= accepted %v", lc, acc), lc <= acc)
+		}
+	}
+	for id, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			problems = append(problems, fmt.Sprintf("non-finite value in %q", id))
+		}
+	}
+	return problems
+}
+
+// splitSample splits "id value" on the last space outside braces —
+// label values may contain spaces.
+func splitSample(line string) (id, value string, ok bool) {
+	depth := 0
+	inQuote := false
+	cut := -1
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '{':
+			if !inQuote {
+				depth++
+			}
+		case '}':
+			if !inQuote {
+				depth--
+			}
+		case ' ':
+			if depth == 0 && !inQuote {
+				cut = i
+			}
+		}
+	}
+	if cut <= 0 || cut == len(line)-1 {
+		return "", "", false
+	}
+	return line[:cut], line[cut+1:], true
+}
+
+// splitName splits a series id into base name and the {...} label
+// block (empty when unlabelled).
+func splitName(id string) (name, labels string) {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i], id[i:]
+	}
+	return id, ""
+}
+
+// lintLabels validates a {k="v",...} block; returns "" when clean.
+func lintLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	if !strings.HasPrefix(labels, "{") || !strings.HasSuffix(labels, "}") {
+		return "unbalanced label braces"
+	}
+	body := labels[1 : len(labels)-1]
+	if body == "" {
+		return "empty label block"
+	}
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq <= 0 || !validLabelName(body[:eq]) {
+			return "invalid label name"
+		}
+		rest := body[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return "unquoted label value"
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "unterminated label value"
+		}
+		body = rest[end+1:]
+		if body == "" {
+			break
+		}
+		if body[0] != ',' {
+			return "missing comma between labels"
+		}
+		body = body[1:]
+	}
+	return ""
+}
+
+// familyOf maps a sample name to its declared family, accounting for
+// the summary pseudo-series (_sum, _count).
+func familyOf(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := typed[base]; ok && (t == "summary" || t == "histogram") {
+			return base
+		}
+	}
+	return ""
+}
+
+// validMetricName reports [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,84 @@
+// Command metriclint validates a Prometheus text exposition — from a
+// file or scraped over HTTP — and optionally checks the serving
+// stack's conservation laws on the scraped values. It is the CI gate
+// for the /metrics endpoint: obs-smoke starts sosdserve, scrapes it,
+// and fails the build if the exposition is malformed or the counters
+// contradict each other.
+//
+// Usage:
+//
+//	metriclint [-wait d] [-laws] <file | http://host:port/metrics>
+//
+// With -wait, an HTTP target is retried until it answers or the
+// duration elapses (the server may still be starting). With -laws,
+// the sosd serving invariants are checked: coalesced keys cannot
+// exceed admissions, every frozen delta must have flushed, multi-run
+// lookups probe at least one run each, and the latency histogram
+// cannot hold more samples than were admitted.
+//
+// Exit status 0 when clean, 1 with one problem per line on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	wait := flag.Duration("wait", 0, "retry an HTTP target for this long before giving up")
+	laws := flag.Bool("laws", false, "check sosd serving conservation laws on the scraped values")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: metriclint [-wait d] [-laws] <file | url>")
+		os.Exit(2)
+	}
+	target := flag.Arg(0)
+
+	text, err := fetch(target, *wait)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(1)
+	}
+
+	problems := Lint(text)
+	if *laws {
+		problems = append(problems, CheckLaws(Values(text))...)
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "metriclint: %s: %s\n", target, p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "metriclint: %s: ok (%d lines)\n", target, strings.Count(text, "\n"))
+}
+
+// fetch reads the exposition from a file or an HTTP URL, retrying an
+// unreachable URL until wait elapses.
+func fetch(target string, wait time.Duration) (string, error) {
+	if !strings.HasPrefix(target, "http://") && !strings.HasPrefix(target, "https://") {
+		b, err := os.ReadFile(target)
+		return string(b), err
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(target)
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return "", fmt.Errorf("GET %s: status %d", target, resp.StatusCode)
+			}
+			b, err := io.ReadAll(resp.Body)
+			return string(b), err
+		}
+		if time.Now().After(deadline) {
+			return "", err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

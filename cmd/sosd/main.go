@@ -9,11 +9,12 @@
 //
 //	sosd [-n keys] [-lookups m] [-seed s] [-format text|csv|json|jsonl]
 //	     [-o file] [-families f1,f2] [-datasets d1,d2]
-//	     [-cpuprofile file] [-memprofile file] <experiment> [...]
+//	     [-cpuprofile file] [-memprofile file] [-admin host:port]
+//	     <experiment> [...]
 //
 // Experiments: table1 fig6 fig7 fig8 table2 fig9 fig10 fig11 fig12
 // regress fig13 fig14 fig15 fig16a fig16b fig16c fig17 persist serve
-// serve-tail serve-write serve-lsm serve-net
+// serve-tail serve-write serve-lsm serve-net serve-obs
 //
 // Results go to stdout (or -o); progress and timing go to stderr, so
 // the machine-readable formats emit pure data:
@@ -34,6 +35,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/report"
 )
@@ -49,6 +51,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	adminAddr := flag.String("admin", "", "admin HTTP listener for /metrics and /debug/pprof during the run (empty = off)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -94,6 +97,21 @@ func main() {
 	sink, err := newSink(*format, w)
 	if err != nil {
 		fatal(err)
+	}
+
+	// The admin listener gives a long experiment run live /debug/pprof
+	// profiles plus the process-wide persist counters on /metrics.
+	// Per-store series live in the stores experiments build and tear
+	// down; sosdserve is the long-running scrape target for those.
+	if *adminAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterPersist(reg)
+		admin, err := obs.ListenAdmin(*adminAddr, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer admin.Close()
+		fmt.Fprintf(os.Stderr, "admin listener on http://%s\n", admin.Addr())
 	}
 
 	// Profiles cover the experiment loop only — build, flag parsing, and

@@ -10,6 +10,15 @@
 //	sosdserve [-addr host:port] [-dataset name] [-n keys] [-seed s]
 //	          [-family f] [-shards k] [-window d] [-batchcap b]
 //	          [-maxpending p] [-maxconns c]
+//	          [-admin host:port] [-trace-every n] [-journal n]
+//	          [-report d]
+//
+// With -admin, a second HTTP listener serves live observability:
+// Prometheus text at /metrics, the flattened registry as JSON at
+// /vars, the flush/compaction journal at /events, and the runtime
+// profiles under /debug/pprof/. With -report, a one-line self-report
+// (throughput, shed, read amp, compactions) prints to stderr at the
+// given interval.
 //
 // The server runs until SIGINT/SIGTERM, then shuts down gracefully and
 // prints its final stats (accepted, shed, coalescing, latency tail) to
@@ -29,6 +38,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dataset"
 	"repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/serve"
 )
@@ -44,6 +54,10 @@ func main() {
 	batchCap := flag.Int("batchcap", net.DefaultBatchCap, "max point lookups coalesced into one store batch")
 	maxPending := flag.Int("maxpending", net.DefaultMaxPending, "admission limit on in-flight requests; excess is shed")
 	maxConns := flag.Int("maxconns", net.DefaultMaxConns, "connection limit; excess accepts are refused")
+	adminAddr := flag.String("admin", "", "admin HTTP listener for /metrics, /vars, /events, /debug/pprof (empty = off)")
+	traceEvery := flag.Int("trace-every", obs.DefaultTraceEvery, "sample 1-in-N requests for phase tracing (rounded up to a power of two)")
+	journalCap := flag.Int("journal", obs.DefaultJournalCap, "flush/compaction journal capacity (events)")
+	report := flag.Duration("report", 0, "self-report interval on stderr (0 = off)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
@@ -66,8 +80,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal(*journalCap)
+	tracer := obs.NewTracer(reg, *traceEvery)
+	obs.RegisterPersist(reg)
+
 	st, err := serve.New(keys, dataset.Payloads(*n, *seed), serve.Config{
 		Shards: *shards, Family: *family,
+		Metrics: reg, Journal: journal, Tracer: tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -79,17 +100,45 @@ func main() {
 		BatchCap:       *batchCap,
 		MaxPending:     *maxPending,
 		MaxConns:       *maxConns,
+		Metrics:        reg,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		fatal(err)
 	}
+
+	var admin *obs.AdminServer
+	if *adminAddr != "" {
+		admin, err = obs.ListenAdmin(*adminAddr, reg, journal)
+		if err != nil {
+			fatal(err)
+		}
+		defer admin.Close()
+	}
+
+	// Structured startup summary: everything needed to identify the
+	// serving configuration from a log line. The checksum identifies
+	// the dataset, the config ID the built index (family + tuned
+	// parameters), and the policy triple the compaction behaviour.
+	threshold, maxRuns, ampBound := st.Policy()
 	capacity := float64(*batchCap) / window.Seconds()
-	fmt.Fprintf(os.Stderr, "serving %s/%s on %s (%d shards, window %v, batch cap %d → capacity %.0f lookups/s, admission %d, conns %d)\n",
-		*dsName, *family, srv.Addr(), *shards, *window, *batchCap, capacity, *maxPending, *maxConns)
+	fmt.Fprintf(os.Stderr,
+		"sosdserve up addr=%s dataset=%s n=%d seed=%d checksum=%016x config=%s shards=%d "+
+			"policy=threshold:%d,maxruns:%d,ampbound:%g "+
+			"window=%v batchcap=%d capacity=%.0f/s admission=%d conns=%d admin=%s trace=1/%d\n",
+		srv.Addr(), *dsName, *n, *seed, dataset.Checksum(keys), st.ConfigIDs()[0], *shards,
+		threshold, maxRuns, ampBound,
+		*window, *batchCap, capacity, *maxPending, *maxConns, adminURL(admin), *traceEvery)
+
+	stopReport := make(chan struct{})
+	if *report > 0 {
+		go selfReport(reg, st, *report, stopReport)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(stopReport)
 	fmt.Fprintln(os.Stderr, "shutting down...")
 	start := time.Now()
 	if err := srv.Close(); err != nil {
@@ -108,6 +157,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "service time p50 %.1fµs p99 %.1fµs p99.9 %.1fµs max %.1fµs\n",
 			float64(q.P50)/1e3, float64(q.P99)/1e3, float64(q.P999)/1e3, float64(q.Max)/1e3)
 	}
+	fmt.Fprintf(os.Stderr, "compactions %d (flushes %d, minor %d, major %d), read amp %.2f, journal %d events\n",
+		st.Compactions(), st.Flushes(), st.MinorMerges(), st.MajorMerges(), st.ReadAmp(), journal.Total())
+}
+
+// selfReport prints a periodic one-line progress report from the live
+// registry until stop closes. Rates are deltas over the interval.
+func selfReport(reg *obs.Registry, st *serve.Store, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	var lastAccepted, lastShed float64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		accepted, _ := reg.Value("sosd_net_accepted_total")
+		shed, _ := reg.Value("sosd_net_shed_total")
+		depth, _ := reg.Value("sosd_net_queue_depth")
+		p99, _ := reg.Value("sosd_net_latency_ns_p99")
+		fmt.Fprintf(os.Stderr,
+			"report accepted=%.0f (+%.0f) shed=%.0f (+%.0f) depth=%.0f p99=%.1fµs readamp=%.2f runs<=%d compactions=%d delta=%d\n",
+			accepted, accepted-lastAccepted, shed, shed-lastShed, depth, p99/1e3,
+			st.ReadAmp(), st.MaxRunCount(), st.Compactions(), st.DeltaLen())
+		lastAccepted, lastShed = accepted, shed
+	}
+}
+
+// adminURL renders the admin listener address for the startup line.
+func adminURL(a *obs.AdminServer) string {
+	if a == nil {
+		return "off"
+	}
+	return "http://" + a.Addr().String()
 }
 
 func fatal(err error) {

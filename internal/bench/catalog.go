@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
 
 	"repro/internal/core"
@@ -198,13 +197,5 @@ func nameAllowed(name string, filter []string) bool {
 // keysChecksum is the dataset fingerprint recorded in run metadata:
 // FNV-1a over the key bytes, deterministic across runs and platforms.
 func keysChecksum(keys []core.Key) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	for _, k := range keys {
-		for i := 0; i < 8; i++ {
-			b[i] = byte(k >> (8 * i))
-		}
-		h.Write(b[:])
-	}
-	return h.Sum64()
+	return dataset.Checksum(keys)
 }

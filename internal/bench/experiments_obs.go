@@ -1,0 +1,220 @@
+package bench
+
+// The observability experiment: run the full serving stack — store,
+// network front end, metrics registry, tracer, and compaction journal —
+// under a mixed YCSB-A workload with compactions in flight, and check
+// the conservation laws that make the metrics trustworthy. Every row
+// is only reported after the laws hold: served + shed == offered on
+// both sides of the wire, delta freezes == flushes == journal flush
+// events, merge counts match the journal, and the registry's probe
+// counters reproduce the store's measured read amplification. A
+// metrics layer that can drop or double-count under load is worse than
+// none; this experiment is the regression gate for that claim. See
+// DESIGN.md "Observability".
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/load"
+	"repro/internal/net"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+func init() {
+	Register(Experiment{"serve-obs", "observability layer: conservation laws for metrics, traces, and the compaction journal under mixed load", serveObsSweep})
+}
+
+// obsTraceEvery samples aggressively (1 in 64) so a default-sized run
+// exercises the trace path thousands of times, not dozens.
+const obsTraceEvery = 64
+
+// obsLaws checks every conservation law after a run has quiesced.
+// offered is the number of operations the client attempted.
+func obsLaws(phase string, offered int, res *load.Result, s *net.Stats,
+	st *serve.Store, reg *obs.Registry, j *obs.Journal) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("serve-obs %s: %s", phase, fmt.Sprintf(format, args...))
+	}
+	// Client side: nothing silently dropped.
+	if res.Errors > 0 {
+		return fail("%d hard errors (sheds must be RetryLater)", res.Errors)
+	}
+	if res.Ops+res.Sheds != offered {
+		return fail("%d ops + %d sheds != %d offered", res.Ops, res.Sheds, offered)
+	}
+	// Server side agrees with the client, request for request.
+	if s.Accepted+s.Shed != uint64(offered) {
+		return fail("server accepted %d + shed %d != %d offered", s.Accepted, s.Shed, offered)
+	}
+	if s.Accepted != uint64(res.Ops) || s.Shed != uint64(res.Sheds) {
+		return fail("server (%d, %d) disagrees with client (%d, %d)",
+			s.Accepted, s.Shed, res.Ops, res.Sheds)
+	}
+	// Every admitted request records exactly one service-time sample.
+	if s.Latency == nil || s.Latency.Count() != s.Accepted {
+		return fail("latency count %d != accepted %d", s.Latency.Count(), s.Accepted)
+	}
+	// Coalesced keys can never exceed admissions, and with no sheds
+	// every admitted Get went through the coalescer exactly once.
+	if s.BatchedKeys > s.Accepted {
+		return fail("batched keys %d > accepted %d", s.BatchedKeys, s.Accepted)
+	}
+	// The wire carries the registry: the stats frame's vars must agree
+	// with the server's own counter (end-to-end codec check).
+	wire := varValue(s.Vars, "sosd_net_accepted_total")
+	if wire != float64(s.Accepted) {
+		return fail("wire var accepted %v != %d", wire, s.Accepted)
+	}
+	// Write path: every frozen delta was flushed, and the journal saw
+	// each flush and merge the store counted.
+	if st.Flushes() != st.DeltaFreezes() {
+		return fail("flushes %d != delta freezes %d (lost flush work)", st.Flushes(), st.DeltaFreezes())
+	}
+	if j.Count("flush") != st.Flushes() {
+		return fail("journal flushes %d != store flushes %d", j.Count("flush"), st.Flushes())
+	}
+	if j.Count("minor") != st.MinorMerges() || j.Count("major") != st.MajorMerges() {
+		return fail("journal merges (%d, %d) != store (%d, %d)",
+			j.Count("minor"), j.Count("major"), st.MinorMerges(), st.MajorMerges())
+	}
+	if j.Total() != j.Count("flush")+j.Count("minor")+j.Count("major") {
+		return fail("journal total %d != sum of kinds", j.Total())
+	}
+	// The registry's probe counters reproduce the store's measured
+	// read amplification exactly (same atomics, quiescent store).
+	probes, _ := reg.Value("sosd_store_run_probes_total")
+	mops, _ := reg.Value("sosd_store_multirun_ops_total")
+	if mops > 0 && math.Abs(probes/mops-st.ReadAmp()) > 1e-9 {
+		return fail("registry read amp %v != store %v", probes/mops, st.ReadAmp())
+	}
+	// Sampling actually happened.
+	if v, _ := reg.Value("sosd_trace_sampled_total"); v == 0 {
+		return fail("tracer sampled nothing at 1/%d", obsTraceEvery)
+	}
+	return nil
+}
+
+func varValue(vars []obs.Var, name string) float64 {
+	for _, v := range vars {
+		if v.Name == name {
+			return v.Value
+		}
+	}
+	return math.NaN()
+}
+
+// serveObsSweep runs a closed-loop YCSB-A phase at full capacity (no
+// sheds, compactions in flight) and an open-loop deep-overload phase
+// (sheds guaranteed), each on a freshly instrumented stack, asserting
+// the conservation laws before reporting the row.
+func serveObsSweep(r *Run) ([]report.Table, error) {
+	o := r.Options
+	e, err := r.Env(dataset.Amzn)
+	if err != nil {
+		return nil, err
+	}
+	// A lower floor than serve-lsm's: the law checks need flushes to
+	// actually happen even at test-suite (tiny) scale.
+	ops := o.Lookups
+	threshold := ops / 32
+	if threshold < 16 {
+		threshold = 16
+	}
+	const shards = 4
+
+	tbl := report.New("serve-obs",
+		fmt.Sprintf("Observability conservation laws (amzn, zipfian YCSB A, %d shards, compact threshold %d, trace 1/%d): rows appear only after every law held",
+			shards, threshold, obsTraceEvery)).
+		Dims("index", "phase").
+		Float("kops/s", "kops/s", 1).
+		Float("sheds", "", 0).
+		Float("flush", "", 0).
+		Float("minor", "", 0).
+		Float("major", "", 0).
+		Float("journal", "events", 0).
+		Float("readamp", "probes/op", 2).
+		Float("traces", "sampled", 0).
+		Float("p99", "µs", 1).
+		Notef("laws: ops+sheds==offered on both sides; latency count==accepted; freezes==flushes==journal flush events; merge counts match journal; registry probes reproduce read amp").
+		Notef("closed phase runs at full capacity with compactions in flight; open phase offers 2x a pinned capacity so admission control must shed")
+
+	for _, family := range r.Families([]string{"PGM"}) {
+		run := func(phase string, ncfg net.Config, rate float64) error {
+			reg := obs.NewRegistry()
+			journal := obs.NewJournal(obs.DefaultJournalCap)
+			tracer := obs.NewTracer(reg, obsTraceEvery)
+			// MaxRuns 2 makes the tier bound bite within a default-sized
+			// run, so the merge laws are exercised, not vacuous.
+			st, err := serve.New(e.Keys, e.Payloads, serve.Config{
+				Shards: shards, Family: family, CompactThreshold: threshold,
+				MaxRuns: 2,
+				Metrics: reg, Journal: journal, Tracer: tracer,
+			})
+			if err != nil {
+				return err
+			}
+			defer st.Close()
+			ncfg.Metrics = reg
+			ncfg.Tracer = tracer
+			srv, err := net.Listen("127.0.0.1:0", st, ncfg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			pool, err := net.DialPool(srv.Addr().String(), 8)
+			if err != nil {
+				return err
+			}
+			defer pool.Close()
+
+			stream := load.MixedOps(e.Keys, ops, 0.50, YCSBTheta, o.Seed)
+			var res *load.Result
+			if rate > 0 {
+				res = load.RunOpen(pool, stream, load.Config{Workers: 96, Rate: rate, Seed: o.Seed})
+			} else {
+				res = load.RunClosed(pool, stream, load.Config{Workers: 32})
+			}
+			st.WaitCompactions()
+			s, err := pool.Stats()
+			if err != nil {
+				return err
+			}
+			if err := obsLaws(phase, len(stream), res, s, st, reg, journal); err != nil {
+				return err
+			}
+			if rate == 0 && st.Flushes() == 0 {
+				return fmt.Errorf("serve-obs %s: no flushes — the write-path laws were vacuous", phase)
+			}
+			traces, _ := reg.Value("sosd_trace_sampled_total")
+			sum := res.Hist.Summary()
+			tbl.Row([]string{family, phase},
+				res.Throughput/1e3, float64(res.Sheds),
+				float64(st.Flushes()), float64(st.MinorMerges()), float64(st.MajorMerges()),
+				float64(journal.Total()), st.ReadAmp(), traces,
+				float64(sum.P99)/1e3)
+			return nil
+		}
+
+		// Full capacity, closed loop: compactions in flight, no sheds.
+		if err := run("closed", net.Config{}, 0); err != nil {
+			return nil, err
+		}
+		// Deep overload, open loop: pin capacity low and offer 2x, so
+		// the shed side of every law is exercised.
+		pinned := net.Config{
+			CoalesceWindow: time.Millisecond,
+			BatchCap:       16,
+			MaxPending:     32,
+		}
+		capacity := float64(pinned.BatchCap) / pinned.CoalesceWindow.Seconds()
+		if err := run("open200%", pinned, 2*capacity); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{*tbl}, nil
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/report"
 	"repro/internal/search"
@@ -107,8 +108,15 @@ func serveSweep(r *Run) ([]report.Table, error) {
 		Float("Mlookups/s", "M/s", 2)
 	for _, family := range families {
 		for _, shards := range []int{1, 4, 8} {
+			// Full observability wiring at default sampling: perfgate
+			// runs this sweep, so the gate measures the instrumented
+			// path, not a metrics-free special case.
+			reg := obs.NewRegistry()
 			st, err := serve.New(e.Keys, e.Payloads, serve.Config{
 				Shards: shards, Family: family,
+				Metrics: reg,
+				Journal: obs.NewJournal(obs.DefaultJournalCap),
+				Tracer:  obs.NewTracer(reg, obs.DefaultTraceEvery),
 			})
 			if err != nil {
 				return nil, err

@@ -145,6 +145,12 @@ func TestServeWriteSweepEndToEnd(t *testing.T) {
 		"Mixed read/write", "threshold sweep", "RMI", "PGM", "BTree", "zipf", "unif")
 }
 
+func TestServeObsSweepEndToEnd(t *testing.T) {
+	runExperiment(t, "serve-obs",
+		"Observability conservation laws", "law held", "readamp", "traces",
+		"closed", "open200%", "PGM")
+}
+
 func TestServeLSMSweepEndToEnd(t *testing.T) {
 	runExperiment(t, "serve-lsm",
 		"Tiered-run write path", "readamp", "readp99", "single", "tier4", "tier8",

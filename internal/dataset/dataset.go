@@ -14,6 +14,7 @@ package dataset
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 
@@ -352,4 +353,19 @@ func CDF(keys []core.Key, m int) (xs []core.Key, ys []float64) {
 		ys[i] = float64(idx) / float64(n-1)
 	}
 	return xs, ys
+}
+
+// Checksum fingerprints a key set: FNV-1a over the little-endian key
+// bytes, deterministic across runs and platforms. It is the dataset
+// identity printed in startup summaries and recorded in run metadata.
+func Checksum(keys []core.Key) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, k := range keys {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(k >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
 }

@@ -219,18 +219,32 @@ func (c *Client) Stats() (*Stats, error) {
 // drive an in-process one — with sheds surfacing as ErrRetryLater
 // through the Try methods.
 type Pool struct {
-	cs   []*Client
-	next atomic.Uint64
+	cs    []*Client
+	addrs []string // dial target per connection, for Stats dedup
+	next  atomic.Uint64
 }
 
 // DialPool opens n connections to addr. On any dial failure the
 // already-opened connections are closed.
 func DialPool(addr string, n int) (*Pool, error) {
-	if n <= 0 {
-		n = 1
+	return DialPoolMulti([]string{addr}, n)
+}
+
+// DialPoolMulti opens n connections striped round-robin across addrs
+// (every address gets at least one, so n is raised to len(addrs) when
+// smaller) — the multi-server pool whose calls spread over every
+// server and whose Stats merge across them. On any dial failure the
+// already-opened connections are closed.
+func DialPoolMulti(addrs []string, n int) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("net: no addresses")
 	}
-	p := &Pool{cs: make([]*Client, n)}
+	if n < len(addrs) {
+		n = len(addrs)
+	}
+	p := &Pool{cs: make([]*Client, n), addrs: make([]string, n)}
 	for i := range p.cs {
+		addr := addrs[i%len(addrs)]
 		c, err := Dial(addr)
 		if err != nil {
 			for _, prev := range p.cs[:i] {
@@ -239,6 +253,7 @@ func DialPool(addr string, n int) (*Pool, error) {
 			return nil, err
 		}
 		p.cs[i] = c
+		p.addrs[i] = addr
 	}
 	return p, nil
 }
@@ -258,8 +273,28 @@ func (p *Pool) pick() *Client {
 	return p.cs[p.next.Add(1)%uint64(len(p.cs))]
 }
 
-// Stats fetches a stats snapshot through one pooled connection.
-func (p *Pool) Stats() (*Stats, error) { return p.cs[0].Stats() }
+// Stats fetches one snapshot per distinct server behind the pool and
+// merges them (counters sum, latency histograms merge, the queue
+// high-water takes the max) — the truthful pool-wide view. Connections
+// to the same address share one server, so only the first connection
+// per address is asked; a single-server pool reports that server's
+// stats exactly, never double-counted.
+func (p *Pool) Stats() (*Stats, error) {
+	merged := &Stats{}
+	seen := map[string]bool{}
+	for i, c := range p.cs {
+		if seen[p.addrs[i]] {
+			continue
+		}
+		seen[p.addrs[i]] = true
+		s, err := c.Stats()
+		if err != nil {
+			return nil, err
+		}
+		merged.Merge(s)
+	}
+	return merged, nil
+}
 
 // TryGet, TryGetBatch, and TryPut implement load.ErrTarget.
 func (p *Pool) TryGet(key core.Key) (uint64, bool, error) { return p.pick().Get(key) }

@@ -22,9 +22,11 @@ package net
 import (
 	"bytes"
 	"io"
+	"math"
 
 	"repro/internal/binio"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -40,6 +42,12 @@ const (
 
 	// maxErrLen bounds an error string on the wire.
 	maxErrLen = 4096
+
+	// maxVars bounds a stats frame's registry snapshot (a registry holds
+	// tens of series per layer; thousands is corruption), and
+	// maxVarNameLen bounds one rendered series id.
+	maxVars       = 4096
+	maxVarNameLen = 512
 )
 
 // Message types. Requests flow client→server, responses server→client.
@@ -92,6 +100,64 @@ type Stats struct {
 	// Latency is the server-side service-time histogram (ns): frame
 	// decode to response enqueue, per accepted request.
 	Latency *stats.Histogram
+
+	// Vars is the server's flattened obs registry snapshot (empty when
+	// the server runs without a registry), sorted by name — the wire
+	// form is canonical, so decode enforces strictly ascending names.
+	Vars []obs.Var
+}
+
+// Merge folds o into s: counters and occupancy sum, the queue
+// high-water takes the max (a summed high-water would claim a depth no
+// server saw), latency histograms merge, and vars sum by name. The
+// pool-wide truth for multi-connection and multi-server stats.
+func (s *Stats) Merge(o *Stats) {
+	s.Conns += o.Conns
+	s.Accepted += o.Accepted
+	s.Shed += o.Shed
+	s.ShedConns += o.ShedConns
+	s.DroppedConns += o.DroppedConns
+	s.Batches += o.Batches
+	s.BatchedKeys += o.BatchedKeys
+	s.QueueDepth += o.QueueDepth
+	if o.MaxQueueDepth > s.MaxQueueDepth {
+		s.MaxQueueDepth = o.MaxQueueDepth
+	}
+	if o.Latency != nil {
+		if s.Latency == nil {
+			s.Latency = &stats.Histogram{}
+		}
+		s.Latency.Merge(o.Latency)
+	}
+	s.Vars = mergeVars(s.Vars, o.Vars)
+}
+
+// mergeVars sums two sorted var lists by name, keeping the result
+// sorted. Summing is right for counters and occupancy gauges, the bulk
+// of a registry snapshot; per-server readings are one Stats call away.
+func mergeVars(a, b []obs.Var) []obs.Var {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]obs.Var, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Name == b[j].Name:
+			out = append(out, obs.Var{Name: a[i].Name, Value: a[i].Value + b[j].Value})
+			i++
+			j++
+		case a[i].Name < b[j].Name:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // encodeMsg appends m's body encoding to buf (reset first) and returns
@@ -143,6 +209,23 @@ func encodeMsg(buf *bytes.Buffer, m *Msg) ([]byte, error) {
 		w.U64(s.QueueDepth)
 		w.U64(s.MaxQueueDepth)
 		s.Latency.EncodeTo(w)
+		if len(s.Vars) > maxVars {
+			return nil, binio.Corruptf("encode: %d vars exceeds limit %d", len(s.Vars), maxVars)
+		}
+		w.U32(uint32(len(s.Vars)))
+		for i, v := range s.Vars {
+			// The wire form is canonical (FuzzFrame re-encodes decoded
+			// frames byte-for-byte), so the sorted-ascending invariant is
+			// enforced on both sides.
+			if len(v.Name) > maxVarNameLen || (i > 0 && v.Name <= s.Vars[i-1].Name) {
+				return nil, binio.Corruptf("encode: vars not strictly ascending by name")
+			}
+			if math.IsNaN(v.Value) || math.IsInf(v.Value, 0) {
+				return nil, binio.Corruptf("encode: non-finite var %q", v.Name)
+			}
+			w.Str(v.Name)
+			w.F64(v.Value)
+		}
 	default:
 		return nil, binio.Corruptf("encode: unknown message type %d", m.Type)
 	}
@@ -228,6 +311,19 @@ func decodeMsg(body []byte) (*Msg, error) {
 			return nil, err
 		}
 		s.Latency = h
+		nv := r.Count(12) // 4-byte name length + 8-byte value at minimum
+		if nv > maxVars {
+			return nil, binio.Corruptf("%d vars exceeds limit %d", nv, maxVars)
+		}
+		if nv > 0 {
+			s.Vars = make([]obs.Var, nv)
+			for i := range s.Vars {
+				s.Vars[i] = obs.Var{Name: r.Str(maxVarNameLen), Value: r.FiniteF64()}
+				if r.Err() == nil && i > 0 && s.Vars[i].Name <= s.Vars[i-1].Name {
+					return nil, binio.Corruptf("vars not strictly ascending by name")
+				}
+			}
+		}
 		m.Stats = s
 	}
 	if err := r.Err(); err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/binio"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -33,6 +34,14 @@ func seedMsgs() []*Msg {
 		{Type: MsgStatsReply, ID: 12, Stats: &Stats{
 			Conns: 2, Accepted: 100, Shed: 3, Batches: 10, BatchedKeys: 60,
 			QueueDepth: 1, MaxQueueDepth: 17, Latency: h.Snapshot(),
+		}},
+		{Type: MsgStatsReply, ID: 13, Stats: &Stats{
+			Conns: 1, Accepted: 42, Latency: h.Snapshot(),
+			Vars: []obs.Var{
+				{Name: "sosd_net_accepted_total", Value: 42},
+				{Name: `sosd_shard_runs{shard="0"}`, Value: 3},
+				{Name: "sosd_store_read_amp", Value: 1.75},
+			},
 		}},
 	}
 }

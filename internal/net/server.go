@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/stats"
 )
@@ -47,6 +48,20 @@ type Config struct {
 	// MaxConns bounds accepted connections; one past the bound is sent
 	// MsgRetryLater and closed. 0 defaults to DefaultMaxConns.
 	MaxConns int
+
+	// Metrics, when non-nil, receives the server's observability
+	// series: accept/shed/coalescer counters bound as scrape-time funcs
+	// over the atomics the server maintains anyway, plus the service
+	// latency histogram. The same registry's full snapshot rides every
+	// stats frame as Stats.Vars — share one registry between the store
+	// and its server to ship both layers in one frame.
+	Metrics *obs.Registry
+
+	// Tracer, when non-nil, samples point lookups and records their
+	// queue-wait and coalesce-wait phases (share it with the store's
+	// Config.Tracer for the route/probe/merge phases of the same
+	// stack).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -93,7 +108,13 @@ type Server struct {
 	droppedConns atomic.Uint64
 	batches      atomic.Uint64
 	batchedKeys  atomic.Uint64
+	flushIdle    atomic.Uint64 // rounds flushed on the idle leading edge
+	flushTimer   atomic.Uint64 // rounds flushed by the window timer
+	flushFull    atomic.Uint64 // rounds that filled BatchCap
 	lat          stats.Histogram
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
 // getReq is one coalescer-queued point lookup.
@@ -102,6 +123,7 @@ type getReq struct {
 	id  uint64
 	c   *srvConn
 	t0  time.Time
+	sp  *obs.Span // non-nil on the tracer's sampling stride
 }
 
 // Listen starts a Server on a fresh TCP listener at addr
@@ -128,10 +150,42 @@ func Serve(ln net.Listener, st *serve.Store, cfg Config) *Server {
 	// guarantees the channel never fills, so producers never block on
 	// it and the coalescer is its only consumer.
 	s.getC = make(chan getReq, s.cfg.MaxPending)
+	s.reg = s.cfg.Metrics
+	s.tracer = s.cfg.Tracer
+	s.registerMetrics(s.reg)
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.coalescer()
 	return s
+}
+
+// registerMetrics binds the server's observability series into r as
+// scrape-time funcs over the counters the server maintains anyway.
+func (s *Server) registerMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	cf := func(a *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(a.Load()) }
+	}
+	r.CounterFunc("sosd_net_accepted_total", cf(&s.accepted))
+	r.CounterFunc("sosd_net_shed_total", cf(&s.shed))
+	r.CounterFunc("sosd_net_shed_conns_total", cf(&s.shedConns))
+	r.CounterFunc("sosd_net_dropped_conns_total", cf(&s.droppedConns))
+	r.CounterFunc("sosd_net_batches_total", cf(&s.batches))
+	r.CounterFunc("sosd_net_batched_keys_total", cf(&s.batchedKeys))
+	r.CounterFunc("sosd_net_flush_idle_total", cf(&s.flushIdle))
+	r.CounterFunc("sosd_net_flush_timer_total", cf(&s.flushTimer))
+	r.CounterFunc("sosd_net_flush_full_total", cf(&s.flushFull))
+	r.GaugeFunc("sosd_net_conns", func() float64 { return float64(s.connCount.Load()) })
+	r.GaugeFunc("sosd_net_queue_depth", func() float64 {
+		if n := s.pending.Load(); n > 0 {
+			return float64(n)
+		}
+		return 0
+	})
+	r.GaugeFunc("sosd_net_queue_depth_max", func() float64 { return float64(s.maxPending.Load()) })
+	r.AttachHistogram("sosd_net_latency_ns", &s.lat)
 }
 
 // Addr reports the listener's address (the dial target).
@@ -156,6 +210,7 @@ func (s *Server) Stats() *Stats {
 		QueueDepth:    clampU(s.pending.Load()),
 		MaxQueueDepth: clampU(s.maxPending.Load()),
 		Latency:       s.lat.Snapshot(),
+		Vars:          s.reg.Vars(),
 	}
 }
 
@@ -269,15 +324,26 @@ func (s *Server) coalescer() {
 		timer.Reset(d)
 		timerArmed = true
 	}
-	flush := func(now time.Time) {
+	flush := func(now time.Time, timerFired bool) {
 		n := len(pend)
 		if n > s.cfg.BatchCap {
 			n = s.cfg.BatchCap
+		}
+		// Classify the round for the coalescer counters: a round that
+		// fills its cap is batch-full regardless of what triggered it.
+		switch {
+		case n == s.cfg.BatchCap:
+			s.flushFull.Add(1)
+		case timerFired:
+			s.flushTimer.Add(1)
+		default:
+			s.flushIdle.Add(1)
 		}
 		batch := pend[:n]
 		keys = keys[:0]
 		for _, g := range batch {
 			keys = append(keys, g.key)
+			g.sp.Mark(obs.PhaseCoalesceWait)
 		}
 		// GetBatchFound resolves each key's found bit against the same
 		// shard snapshots as the batch (a zero payload is ambiguous in
@@ -321,17 +387,18 @@ func (s *Server) coalescer() {
 				}
 			}
 		case g := <-s.getC:
+			g.sp.Mark(obs.PhaseQueueWait)
 			pend = append(pend, g)
 			now := time.Now()
 			if now.Sub(lastFlush) >= s.cfg.CoalesceWindow {
-				flush(now)
+				flush(now, false)
 			} else {
 				arm(s.cfg.CoalesceWindow - now.Sub(lastFlush))
 			}
 		case now := <-timer.C:
 			timerArmed = false
 			if len(pend) > 0 {
-				flush(now)
+				flush(now, true)
 			}
 		}
 	}
@@ -437,7 +504,7 @@ func (c *srvConn) handle(m *Msg) {
 			return
 		}
 		// Admission bounds occupancy, so this send cannot block.
-		s.getC <- getReq{key: m.Key, id: m.ID, c: c, t0: time.Now()}
+		s.getC <- getReq{key: m.Key, id: m.ID, c: c, t0: time.Now(), sp: s.tracer.Sample()}
 	case MsgGetBatch:
 		if !s.admit() {
 			c.send(&Msg{Type: MsgRetryLater, ID: m.ID})

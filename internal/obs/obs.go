@@ -1,0 +1,382 @@
+// Package obs is the live observability layer: a dependency-light
+// metrics registry (atomic counters, gauges, and histograms reusing
+// stats.Histogram, registered under Prometheus-style names with
+// labels), a sampled request tracer that decomposes request latency
+// into phases, and a bounded in-memory event journal for flushes and
+// compactions. The hot path is lock-free — recording into any handle
+// is one atomic op — and every handle tolerates a nil receiver, so
+// instrumented code pays a single predictable nil check when
+// observability is disabled. See DESIGN.md "Observability".
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Label is one name="value" dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Var is one flattened (series id, value) pair — the JSON /vars and
+// stats-frame form of a registry snapshot. Histograms flatten into
+// _count/_sum/_p50/_p99/_max entries.
+type Var struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// series is one registered metric instance.
+type series struct {
+	name   string // base metric name (family)
+	id     string // rendered name{labels} identity
+	kind   kind
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+	labels []Label
+}
+
+// Registry holds named metric series. Registration takes a mutex;
+// recording into the returned handles is lock-free. A nil *Registry is
+// valid everywhere and hands out nil handles whose methods no-op —
+// code instruments unconditionally and the caller decides at
+// construction whether the metrics exist.
+//
+// Series identities (name plus label set) must be unique and a base
+// name keeps one metric type; violations panic at registration time,
+// like a duplicate bench.Register — they are assembly mistakes, not
+// runtime conditions. Register one Store or Server per Registry.
+type Registry struct {
+	mu     sync.Mutex
+	series []*series
+	types  map[string]kind
+	ids    map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{types: map[string]kind{}, ids: map[string]struct{}{}}
+}
+
+// register validates and records one series under the registry lock.
+func (r *Registry) register(s *series) {
+	if !validName(s.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", s.name))
+	}
+	for _, l := range s.labels {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q on %q", l.Key, s.name))
+		}
+	}
+	s.id = renderID(s.name, s.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.types[s.name]; ok && k != s.kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", s.name, k.promType(), s.kind.promType()))
+	}
+	if _, dup := r.ids[s.id]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric series %q", s.id))
+	}
+	r.types[s.name] = s.kind
+	r.ids[s.id] = struct{}{}
+	r.series = append(r.series, s)
+}
+
+// Counter registers and returns a monotonically increasing counter.
+// Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(&series{name: name, kind: kindCounter, c: c, labels: labels})
+	return c
+}
+
+// Gauge registers and returns a settable integer gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(&series{name: name, kind: kindGauge, g: g, labels: labels})
+	return g
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time — the zero-hot-path-cost binding for a cumulative counter the
+// instrumented code already maintains (an atomic it increments anyway).
+// fn must be safe to call from any goroutine and monotone.
+func (r *Registry) CounterFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(&series{name: name, kind: kindCounterFunc, fn: fn, labels: labels})
+}
+
+// GaugeFunc registers a gauge computed at scrape time. fn must be safe
+// to call from any goroutine.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(&series{name: name, kind: kindGaugeFunc, fn: fn, labels: labels})
+}
+
+// Histogram registers and returns a fresh latency histogram, exposed
+// as a Prometheus summary (p50/p90/p99/p999 quantiles plus _sum and
+// _count).
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{h: &stats.Histogram{}}
+	r.register(&series{name: name, kind: kindHistogram, h: h, labels: labels})
+	return h
+}
+
+// AttachHistogram exposes an existing stats.Histogram the instrumented
+// code already records into (the scrape-time sibling of CounterFunc).
+func (r *Registry) AttachHistogram(name string, h *stats.Histogram, labels ...Label) {
+	if r == nil || h == nil {
+		return
+	}
+	r.register(&series{name: name, kind: kindHistogram, h: &Histogram{h: h}, labels: labels})
+}
+
+// snapshot returns the registered series under the lock; values are
+// read outside it (handles are atomic, funcs lock what they need).
+func (r *Registry) snapshot() []*series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*series, len(r.series))
+	copy(out, r.series)
+	return out
+}
+
+// Vars flattens the registry into sorted (name, value) pairs — the
+// /vars and stats-frame snapshot. Histograms expand into
+// _count/_sum/_p50/_p99/_max pseudo-series.
+func (r *Registry) Vars() []Var {
+	ss := r.snapshot()
+	if len(ss) == 0 {
+		return nil
+	}
+	vars := make([]Var, 0, len(ss))
+	for _, s := range ss {
+		switch s.kind {
+		case kindCounter:
+			vars = append(vars, Var{s.id, float64(s.c.Value())})
+		case kindGauge:
+			vars = append(vars, Var{s.id, float64(s.g.Value())})
+		case kindCounterFunc, kindGaugeFunc:
+			vars = append(vars, Var{s.id, s.fn()})
+		case kindHistogram:
+			h := s.h.h.Snapshot()
+			vars = append(vars,
+				Var{s.id + "_count", float64(h.Count())},
+				Var{s.id + "_sum", float64(h.Sum())},
+				Var{s.id + "_p50", float64(h.Quantile(0.50))},
+				Var{s.id + "_p99", float64(h.Quantile(0.99))},
+				Var{s.id + "_max", float64(h.Max())},
+			)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	return vars
+}
+
+// Value looks one flattened series up by its rendered id (including
+// histogram pseudo-series like "name_count"). The second result
+// reports whether the series exists.
+func (r *Registry) Value(id string) (float64, bool) {
+	for _, v := range r.Vars() {
+		if v.Name == id {
+			return v.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Counter is a monotonically increasing counter; one atomic add to
+// record. Methods are no-ops on a nil handle.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reports the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable integer gauge. Methods are no-ops on a nil
+// handle.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value reports the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram records value distributions (latencies in nanoseconds, by
+// convention) into a stats.Histogram. Methods are no-ops on a nil
+// handle.
+type Histogram struct{ h *stats.Histogram }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h != nil {
+		h.h.Record(v)
+	}
+}
+
+// Snapshot returns an independent copy of the underlying histogram
+// (nil on a nil handle).
+func (h *Histogram) Snapshot() *stats.Histogram {
+	if h == nil {
+		return nil
+	}
+	return h.h.Snapshot()
+}
+
+// renderID renders the canonical series identity: name alone, or
+// name{k="v",...} with labels in registration order.
+func renderID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// validName reports whether s is a legal metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey reports whether s is a legal label name:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

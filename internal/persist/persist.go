@@ -65,9 +65,11 @@ func AtomicWrite(path string, write func(w *binio.Writer) error) (err error) {
 	if err = tmp.Sync(); err != nil {
 		return err
 	}
+	fsyncs.Add(1)
 	if err = tmp.Close(); err != nil {
 		return err
 	}
+	snapshotBytes.Add(uint64(w.Len()))
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
@@ -82,6 +84,7 @@ func syncDir(dir string) error {
 		return err
 	}
 	defer d.Close()
+	fsyncs.Add(1)
 	if err := d.Sync(); err != nil && !os.IsPermission(err) {
 		// Some filesystems return EINVAL for directory fsync; treat any
 		// sync failure as best-effort rather than failing the commit.

@@ -136,6 +136,8 @@ func CreateWAL(path string, seed []Op) (*WAL, error) {
 	if err := tmp.Sync(); err != nil {
 		return fail(err)
 	}
+	fsyncs.Add(1)
+	walBytes.Add(uint64(w.Len()))
 	// Rename before closing: the fd survives the rename, so the
 	// committed file and the append handle are the same inode.
 	if err := os.Rename(tmp.Name(), path); err != nil {
@@ -189,11 +191,16 @@ func (w *WAL) Append(op Op) error {
 		return err
 	}
 	w.n++
+	walAppends.Add(1)
+	walBytes.Add(walRecordLen)
 	return nil
 }
 
 // Sync fsyncs the log.
-func (w *WAL) Sync() error { return w.f.Sync() }
+func (w *WAL) Sync() error {
+	fsyncs.Add(1)
+	return w.f.Sync()
+}
 
 // Len reports the record count (replayed plus appended).
 func (w *WAL) Len() int { return w.n }
@@ -203,6 +210,7 @@ func (w *WAL) Path() string { return w.path }
 
 // Close syncs and closes the log.
 func (w *WAL) Close() error {
+	fsyncs.Add(1)
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return err

@@ -26,11 +26,13 @@ import (
 	"math"
 	"math/bits"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/search"
@@ -117,6 +119,22 @@ type Config struct {
 	// default: appends still reach the OS immediately (surviving a
 	// process crash), and SyncWAL provides an explicit storage barrier.
 	SyncWrites bool
+
+	// Metrics, when non-nil, receives the store's observability series
+	// at construction: per-shard run/delta/read-amp gauges and the
+	// compaction counters, all bound as scrape-time funcs over the
+	// counters the store maintains anyway — the read and write paths pay
+	// nothing. Use a fresh Registry per store (series names collide
+	// otherwise).
+	Metrics *obs.Registry
+
+	// Journal, when non-nil, records every flush, minor merge, and
+	// major merge with the tiering-policy inputs that chose it.
+	Journal *obs.Journal
+
+	// Tracer, when non-nil, samples Get/GetBatch requests and records
+	// their shard-route / run-probe / merge phase latencies.
+	Tracer *obs.Tracer
 }
 
 // Store is a sharded, mutable key→payload store. See the package
@@ -168,13 +186,17 @@ type Store struct {
 	compactPending int
 	compactStop    bool
 
-	compactWG   sync.WaitGroup
-	stats       []shardStats // per-shard read-amp accounting and merge-cost EWMAs
-	compactions atomic.Uint64
-	compactNs   atomic.Int64
-	flushes     atomic.Uint64
-	minorMerges atomic.Uint64
-	majorMerges atomic.Uint64
+	compactWG    sync.WaitGroup
+	stats        []shardStats // per-shard read-amp accounting and merge-cost EWMAs
+	compactions  atomic.Uint64
+	compactNs    atomic.Int64
+	flushes      atomic.Uint64
+	minorMerges  atomic.Uint64
+	majorMerges  atomic.Uint64
+	deltaFreezes atomic.Uint64 // delta fills frozen for a tier flush
+
+	journal *obs.Journal
+	tracer  *obs.Tracer
 }
 
 // shardStats carries one shard's measured read-amplification window
@@ -374,8 +396,100 @@ func (st *Store) start() {
 	st.idleCond = sync.NewCond(&st.compactMu)
 	st.compactQueued = make([]bool, nShards)
 	st.stats = make([]shardStats, nShards)
+	st.journal = st.cfg.Journal
+	st.tracer = st.cfg.Tracer
+	st.registerMetrics(st.cfg.Metrics)
 	st.compactWG.Add(1)
 	go st.compactor()
+}
+
+// registerMetrics binds the store's observability series into r: every
+// counter is a scrape-time func over an atomic the store maintains
+// anyway, and every gauge reads the current shard state through the
+// same lock-free pointer loads the read path uses — registration adds
+// nothing to Get/Put.
+func (st *Store) registerMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	cf := func(a *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(a.Load()) }
+	}
+	r.CounterFunc("sosd_store_compactions_total", cf(&st.compactions))
+	r.CounterFunc("sosd_store_flushes_total", cf(&st.flushes))
+	r.CounterFunc("sosd_store_minor_merges_total", cf(&st.minorMerges))
+	r.CounterFunc("sosd_store_major_merges_total", cf(&st.majorMerges))
+	r.CounterFunc("sosd_store_delta_freezes_total", cf(&st.deltaFreezes))
+	r.CounterFunc("sosd_store_compact_ns_total", func() float64 { return float64(st.compactNs.Load()) })
+	r.CounterFunc("sosd_store_run_probes_total", func() float64 {
+		var probes int64
+		for i := range st.stats {
+			probes += st.stats[i].probes.Load()
+		}
+		return float64(probes)
+	})
+	r.CounterFunc("sosd_store_multirun_ops_total", func() float64 {
+		var ops int64
+		for i := range st.stats {
+			ops += st.stats[i].ops.Load()
+		}
+		return float64(ops)
+	})
+	r.GaugeFunc("sosd_store_read_amp", st.ReadAmp)
+	r.GaugeFunc("sosd_store_delta_len", func() float64 { return float64(st.DeltaLen()) })
+	r.GaugeFunc("sosd_store_pending_compactions", func() float64 {
+		st.compactMu.Lock()
+		defer st.compactMu.Unlock()
+		return float64(st.compactPending)
+	})
+	for i := range st.shards {
+		lbl := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+		r.GaugeFunc("sosd_shard_runs", func() float64 {
+			return float64(len(st.shards[i].Load().runs))
+		}, lbl)
+		r.GaugeFunc("sosd_shard_delta_len", func() float64 {
+			return float64(st.shards[i].Load().deltaLen())
+		}, lbl)
+		r.GaugeFunc("sosd_shard_read_amp", func() float64 {
+			amp, _ := st.windowAmp(i)
+			return amp
+		}, lbl)
+		r.GaugeFunc("sosd_shard_compact_queued", func() float64 {
+			st.compactMu.Lock()
+			defer st.compactMu.Unlock()
+			if st.compactQueued[i] {
+				return 1
+			}
+			return 0
+		}, lbl)
+	}
+}
+
+// windowAmp reads shard i's measured read amplification and lookup
+// count over the window since its last merge.
+func (st *Store) windowAmp(i int) (amp float64, ops int64) {
+	ss := &st.stats[i]
+	ops = ss.ops.Load() - ss.ops0.Load()
+	if ops > 0 {
+		amp = float64(ss.probes.Load()-ss.probes0.Load()) / float64(ops)
+	}
+	return amp, ops
+}
+
+// journalEvent appends one write-path event with the tiering-policy
+// inputs as the compactor saw them. No-op without a journal.
+func (st *Store) journalEvent(i int, kind string, runsBefore, runsAfter, keys int, dur time.Duration) {
+	if st.journal == nil {
+		return
+	}
+	amp, ops := st.windowAmp(i)
+	st.journal.Append(obs.Event{
+		Shard: i, Kind: kind,
+		RunsBefore: runsBefore, RunsAfter: runsAfter, Keys: keys, Dur: dur,
+		ReadAmp: amp, WindowOps: ops,
+		MajorNs: ewmaLoad(&st.stats[i].majorNsPerKey),
+		MinorNs: ewmaLoad(&st.stats[i].minorNsPerKey),
+	})
 }
 
 // buildShard picks (and records) the shard's builder and constructs its
@@ -586,6 +700,31 @@ func (st *Store) MinorMerges() uint64 { return st.minorMerges.Load() }
 // (and for learned families re-tuned) the base index.
 func (st *Store) MajorMerges() uint64 { return st.majorMerges.Load() }
 
+// DeltaFreezes reports the number of non-empty delta fills frozen and
+// handed to the tier flusher — the independent end of the
+// flushes==freezes conservation law (they diverge only when a flush
+// build fails, which PersistErr-style accounting would surface).
+func (st *Store) DeltaFreezes() uint64 { return st.deltaFreezes.Load() }
+
+// Policy reports the store's effective compaction policy after
+// defaulting: the pending-write threshold that triggers a flush, the
+// tier run bound, and the read-amplification bound.
+func (st *Store) Policy() (threshold, maxRuns int, ampBound float64) {
+	return st.cfg.CompactThreshold, st.cfg.MaxRuns, st.cfg.AmpBound
+}
+
+// ConfigIDs reports each shard's current index config ID (the registry
+// codec tag, tracking re-tunes across major merges).
+func (st *Store) ConfigIDs() []string {
+	out := make([]string, len(st.builderIDs))
+	for i := range out {
+		st.writeMu[i].Lock()
+		out[i] = st.builderIDs[i]
+		st.writeMu[i].Unlock()
+	}
+	return out
+}
+
 // RunCount reports shard i's current sorted-run count (1 = fully
 // compacted).
 func (st *Store) RunCount(i int) int { return len(st.shards[i].Load().runs) }
@@ -622,8 +761,20 @@ func (st *Store) ReadAmp() float64 {
 func (st *Store) Shard(i int) *table.Table { return st.shards[i].Load().base() }
 
 // Get returns the live payload for key, or false when absent. Pending
-// writes shadow the runs; newer runs shadow older.
+// writes shadow the runs; newer runs shadow older. With a tracer
+// configured, the sampled request records its shard-route and
+// run-probe phases; every other request pays one atomic add.
 func (st *Store) Get(key core.Key) (uint64, bool) {
+	if sp := st.tracer.Sample(); sp != nil {
+		i := st.shardOf(key)
+		sp.Mark(obs.PhaseShardRoute)
+		v, ok, probes := st.shards[i].Load().get(key)
+		sp.Mark(obs.PhaseRunProbe)
+		if probes > 0 {
+			st.noteReads(i, probes, 1)
+		}
+		return v, ok
+	}
 	i := st.shardOf(key)
 	v, ok, probes := st.shards[i].Load().get(key)
 	if probes > 0 {
@@ -774,6 +925,12 @@ func (st *Store) compactShard(i int, force bool) error {
 		return nil
 	}
 	frozen := s.del
+	if !force && st.tiered() && frozen.len() > 0 {
+		// A delta fill handed to the flusher: the independent end of the
+		// flushes==freezes conservation law the serve-obs experiment (and
+		// metriclint) holds the write path to.
+		st.deltaFreezes.Add(1)
+	}
 	if frozen.len() == 0 {
 		frozen = &delta{} // unique identity for the merge-only conflict check
 	}
@@ -851,6 +1008,7 @@ func (st *Store) buildCompacted(i int, s *shardState, frozen *delta, builder cor
 			runs = append(append([]*table.Table{}, runs...), fr)
 			runIDs = append(append([]string{}, runIDs...), fid)
 			st.flushes.Add(1)
+			st.journalEvent(i, "flush", len(s.runs), len(runs), frozen.len(), time.Since(t0))
 		}
 		if len(runs) <= st.cfg.MaxRuns && !st.ampWindowExceeded(i) {
 			return compactResult{runs: runs, runIDs: runIDs, builder: builder, builderID: builderID}, nil
@@ -870,6 +1028,7 @@ func (st *Store) buildCompacted(i int, s *shardState, frozen *delta, builder cor
 				ewmaUpdate(&st.stats[i].minorNsPerKey, float64(time.Since(t0).Nanoseconds())/float64(len(k)))
 			}
 			st.minorMerges.Add(1)
+			st.journalEvent(i, "minor", len(runs), 2, len(k), time.Since(t0))
 			return compactResult{
 				runs:   []*table.Table{runs[0], mr},
 				runIDs: []string{runIDs[0], mid},
@@ -919,6 +1078,7 @@ func (st *Store) buildCompacted(i int, s *shardState, frozen *delta, builder cor
 		ewmaUpdate(&st.stats[i].majorNsPerKey, float64(time.Since(t0).Nanoseconds())/float64(len(keys)))
 	}
 	st.majorMerges.Add(1)
+	st.journalEvent(i, "major", len(runs), 1, len(keys), time.Since(t0))
 	return compactResult{
 		runs: []*table.Table{nt}, runIDs: []string{builderID},
 		builder: builder, builderID: builderID, merged: true,
@@ -1053,6 +1213,9 @@ func (st *Store) getBatchInto(keys []core.Key, out []uint64, fbits []bool) int {
 	if n == 0 {
 		return 0
 	}
+	// One sampling decision per batch: a traced batch records its
+	// route/probe/merge phases, every other batch pays one atomic add.
+	sp := st.tracer.Sample()
 	nShards := len(st.shards)
 	s := st.scratch.Get().(*batchScratch)
 	s.ensure(n, nShards)
@@ -1080,6 +1243,7 @@ func (st *Store) getBatchInto(keys []core.Key, out []uint64, fbits []bool) int {
 		s.gkeys[slot] = x
 		s.pos[i] = slot
 	}
+	sp.Mark(obs.PhaseShardRoute)
 
 	var wg sync.WaitGroup
 	var found atomic.Int64
@@ -1101,6 +1265,7 @@ func (st *Store) getBatchInto(keys []core.Key, out []uint64, fbits []bool) int {
 		}
 	}
 	wg.Wait()
+	sp.Mark(obs.PhaseRunProbe)
 
 	for i := 0; i < n; i++ {
 		out[i] = s.gout[s.pos[i]]
@@ -1110,6 +1275,7 @@ func (st *Store) getBatchInto(keys []core.Key, out []uint64, fbits []bool) int {
 			fbits[i] = s.gfound[s.pos[i]]
 		}
 	}
+	sp.Mark(obs.PhaseMerge)
 	st.scratch.Put(s)
 	return int(found.Load())
 }

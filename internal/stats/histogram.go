@@ -103,6 +103,10 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Max reports the largest recorded sample, exactly (0 when empty).
 func (h *Histogram) Max() int64 { return h.max.Load() }
 
+// Sum reports the exact sum of recorded samples — with Count, the
+// _sum/_count pair of a Prometheus summary exposition.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
 // Mean reports the exact mean of recorded samples (0 when empty).
 func (h *Histogram) Mean() float64 {
 	n := h.count.Load()
