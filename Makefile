@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet bench bench-smoke report-smoke obs-smoke race serve serve-write serve-lsm serve-tail serve-net serve-obs persist fuzz-smoke examples doccheck perfgate perfgate-update
+.PHONY: tier1 vet bench bench-smoke report-smoke obs-smoke race serve serve-write serve-lsm serve-tail serve-net serve-obs serve-repl persist fuzz-smoke examples doccheck perfgate perfgate-update build-audit
 
 # tier1 is the verify recipe: everything must build and every test pass.
 tier1:
@@ -44,9 +44,9 @@ obs-smoke:
 # (serve includes the snapshot/restore map-oracle suite; net runs
 # concurrent clients against the server with compactions and a
 # snapshot racing the traffic; obs scrapes a registry while recorders
-# hammer it).
+# hammer it; repl streams a primary into followers killed mid-flight).
 race:
-	$(GO) test -race ./internal/serve/ ./internal/table/ ./internal/stats/ ./internal/load/ ./internal/persist/ ./internal/net/ ./internal/obs/
+	$(GO) test -race ./internal/serve/ ./internal/table/ ./internal/stats/ ./internal/load/ ./internal/persist/ ./internal/net/ ./internal/obs/ ./internal/repl/
 
 # serve prints the serving-layer experiment at a quick scale.
 serve:
@@ -77,6 +77,12 @@ serve-net:
 # mixed workload with compactions in flight).
 serve-obs:
 	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-obs
+
+# serve-repl prints the replication experiment (read goodput vs
+# replica count through the scatter/gather router, stream conservation
+# laws, and the failover-to-ready timeline).
+serve-repl:
+	$(GO) run ./cmd/sosd -n 200000 -lookups 20000 serve-repl
 
 # persist prints the cold-vs-warm restart experiment at a quick scale.
 persist:
@@ -114,6 +120,16 @@ perfgate:
 perfgate-update:
 	$(PERFGATE_RUN)
 	$(GO) run ./cmd/perfdiff -update BENCH_current.json
+
+# build-audit is the GOAMD64=v3 check from the roadmap's hot-path
+# item: the whole tree must compile at the wider instruction baseline
+# (POPCNT/BMI2/AVX guaranteed, no runtime feature dispatch), and the
+# root benchmark subset re-runs under it so the delta vs a plain
+# `make bench` on the same machine shows what v3 buys the hot path.
+build-audit:
+	GOAMD64=v3 $(GO) build ./...
+	GOAMD64=v3 $(GO) vet ./...
+	GOAMD64=v3 $(GO) test -run '^$$' -bench 'BenchmarkGetBatch|BenchmarkServeSharded|BenchmarkServeMixed|BenchmarkTable2' -benchtime 200000x .
 
 # examples builds every walkthrough under examples/.
 examples:

@@ -12,6 +12,18 @@
 //	          [-maxpending p] [-maxconns c]
 //	          [-admin host:port] [-trace-every n] [-journal n]
 //	          [-report d]
+//	          [-repl host:port | -follow host:port -repldir dir]
+//
+// With -repl, the server is a replication primary: it opens a second
+// listener on the given address that ships snapshots to subscribing
+// followers and streams every write applied through the serving port.
+// With -follow, the server is a read-only follower instead: it
+// bootstraps its store from the primary's replication address (no
+// dataset is generated), keeps it current from the WAL stream, and
+// serves reads; writes through the serving port are refused until the
+// node is promoted (see cmd/sosdrouter). -repldir is the follower's
+// durable state directory — restarting with the same directory resumes
+// from the last committed position instead of re-bootstrapping.
 //
 // With -admin, a second HTTP listener serves live observability:
 // Prometheus text at /metrics, the flattened registry as JSON at
@@ -40,6 +52,7 @@ import (
 	"repro/internal/net"
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/repl"
 	"repro/internal/serve"
 )
 
@@ -58,10 +71,19 @@ func main() {
 	traceEvery := flag.Int("trace-every", obs.DefaultTraceEvery, "sample 1-in-N requests for phase tracing (rounded up to a power of two)")
 	journalCap := flag.Int("journal", obs.DefaultJournalCap, "flush/compaction journal capacity (events)")
 	report := flag.Duration("report", 0, "self-report interval on stderr (0 = off)")
+	replAddr := flag.String("repl", "", "replication listener address: act as primary, stream writes to followers (empty = off)")
+	followAddr := flag.String("follow", "", "primary's replication address: act as read-only follower (empty = off)")
+	replDir := flag.String("repldir", "", "follower state directory (required with -follow)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *replAddr != "" && *followAddr != "" {
+		fatal(fmt.Errorf("-repl and -follow are mutually exclusive"))
+	}
+	if *followAddr != "" && *replDir == "" {
+		fatal(fmt.Errorf("-follow requires -repldir"))
 	}
 
 	known := false
@@ -75,34 +97,77 @@ func main() {
 		fatal(fmt.Errorf("unknown family %q (known: %v)", *family, registry.Families()))
 	}
 
-	fmt.Fprintf(os.Stderr, "generating %s, %d keys (seed %d)...\n", *dsName, *n, *seed)
-	keys, err := dataset.Generate(dataset.Name(*dsName), *n, *seed)
-	if err != nil {
-		fatal(err)
-	}
-
 	reg := obs.NewRegistry()
 	journal := obs.NewJournal(*journalCap)
 	tracer := obs.NewTracer(reg, *traceEvery)
 	obs.RegisterPersist(reg)
 
-	st, err := serve.New(keys, dataset.Payloads(*n, *seed), serve.Config{
-		Shards: *shards, Family: *family,
-		Metrics: reg, Journal: journal, Tracer: tracer,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	defer st.Close()
-
-	srv, err := net.Listen(*addr, st, net.Config{
+	netCfg := net.Config{
 		CoalesceWindow: *window,
 		BatchCap:       *batchCap,
 		MaxPending:     *maxPending,
 		MaxConns:       *maxConns,
 		Metrics:        reg,
 		Tracer:         tracer,
-	})
+	}
+
+	var (
+		st       *serve.Store
+		pri      *repl.Primary
+		fol      *repl.Follower
+		checksum uint64
+	)
+	if *followAddr != "" {
+		// Follower: the store comes from the primary's snapshot, not a
+		// generated dataset.
+		fmt.Fprintf(os.Stderr, "bootstrapping from primary %s into %s...\n", *followAddr, *replDir)
+		var err error
+		fol, err = repl.StartFollower(repl.FollowerConfig{
+			Dir: *replDir, PrimaryAddr: *followAddr,
+			Store: serve.Config{Family: *family, Metrics: reg, Journal: journal, Tracer: tracer},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer fol.Stop()
+		if err := fol.WaitReady(5 * time.Minute); err != nil {
+			fatal(err)
+		}
+		st = fol.Store()
+		netCfg.ReplStat = fol.ReplStatHook()
+		netCfg.Promote = fol.PromoteHook()
+	} else {
+		fmt.Fprintf(os.Stderr, "generating %s, %d keys (seed %d)...\n", *dsName, *n, *seed)
+		keys, err := dataset.Generate(dataset.Name(*dsName), *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		checksum = dataset.Checksum(keys)
+		cfg := serve.Config{
+			Shards: *shards, Family: *family,
+			Metrics: reg, Journal: journal, Tracer: tracer,
+		}
+		var log *repl.Log
+		if *replAddr != "" {
+			log = repl.NewLog(*shards)
+			cfg.WriteHook = log.Hook()
+		}
+		st, err = serve.New(keys, dataset.Payloads(*n, *seed), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		if *replAddr != "" {
+			pri, err = repl.NewPrimary(st, log, *replAddr, repl.PrimaryConfig{})
+			if err != nil {
+				fatal(err)
+			}
+			defer pri.Close()
+			netCfg.ReplStat = pri.ReplStatHook()
+		}
+	}
+
+	srv, err := net.Listen(*addr, st, netCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -122,11 +187,18 @@ func main() {
 	// parameters), and the policy triple the compaction behaviour.
 	threshold, maxRuns, ampBound := st.Policy()
 	capacity := float64(*batchCap) / window.Seconds()
+	role := "standalone"
+	switch {
+	case pri != nil:
+		role = "primary repl=" + pri.Addr().String()
+	case fol != nil:
+		role = "follower primary=" + *followAddr + " dir=" + *replDir
+	}
 	fmt.Fprintf(os.Stderr,
-		"sosdserve up addr=%s dataset=%s n=%d seed=%d checksum=%016x config=%s shards=%d "+
+		"sosdserve up addr=%s role=%s dataset=%s n=%d seed=%d checksum=%016x config=%s shards=%d "+
 			"policy=threshold:%d,maxruns:%d,ampbound:%g "+
 			"window=%v batchcap=%d capacity=%.0f/s admission=%d conns=%d admin=%s trace=1/%d\n",
-		srv.Addr(), *dsName, *n, *seed, dataset.Checksum(keys), st.ConfigIDs()[0], *shards,
+		srv.Addr(), role, *dsName, *n, *seed, checksum, st.ConfigIDs()[0], st.NumShards(),
 		threshold, maxRuns, ampBound,
 		*window, *batchCap, capacity, *maxPending, *maxConns, adminURL(admin), *traceEvery)
 
@@ -159,6 +231,16 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "compactions %d (flushes %d, minor %d, major %d), read amp %.2f, journal %d events\n",
 		st.Compactions(), st.Flushes(), st.MinorMerges(), st.MajorMerges(), st.ReadAmp(), journal.Total())
+	if pri != nil {
+		ps := pri.Stats()
+		fmt.Fprintf(os.Stderr, "repl primary: %d followers, streamed %d, acked %d, snapshot %d bytes (%d bootstraps, %d resyncs)\n",
+			ps.Followers, ps.StreamedOps, ps.AckedOps, ps.SnapBytes, ps.Bootstraps, ps.Resyncs)
+	}
+	if fol != nil {
+		fs := fol.Stats()
+		fmt.Fprintf(os.Stderr, "repl follower: applied %d, acked %d, lag %d, resyncs %d, state syncs %d\n",
+			fs.AppliedOps, fs.AckedOps, fs.LagOps, fs.Resyncs, fs.StateSyncs)
+	}
 }
 
 // selfReport prints a periodic one-line progress report from the live

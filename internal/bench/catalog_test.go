@@ -16,7 +16,7 @@ var expectedExperiments = []string{
 	"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10",
 	"fig11", "fig12", "regress", "fig13", "fig14", "fig15",
 	"fig16a", "fig16b", "fig16c", "fig17",
-	"persist", "serve", "serve-lsm", "serve-net", "serve-obs", "serve-tail", "serve-write",
+	"persist", "serve", "serve-lsm", "serve-net", "serve-obs", "serve-repl", "serve-tail", "serve-write",
 }
 
 func TestCatalogComplete(t *testing.T) {

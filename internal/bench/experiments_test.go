@@ -151,6 +151,11 @@ func TestServeObsSweepEndToEnd(t *testing.T) {
 		"closed", "open200%", "PGM")
 }
 
+func TestServeReplSweepEndToEnd(t *testing.T) {
+	runExperiment(t, "serve-repl",
+		"Replicated serving", "speedup", "goodput", "detect+promote", "ready")
+}
+
 func TestServeLSMSweepEndToEnd(t *testing.T) {
 	runExperiment(t, "serve-lsm",
 		"Tiered-run write path", "readamp", "readp99", "single", "tier4", "tier8",

@@ -7,8 +7,21 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+)
+
+// Redial pacing: after a transport failure the client reconnects
+// lazily on the next call, with exponential backoff between attempts
+// so a dead server costs one fast dial failure per backoff window,
+// never a tight dial loop. Attempts are bounded per call (exactly one)
+// and rate-bounded overall; the client never gives up permanently —
+// a server that comes back is rejoined within one backoff window.
+const (
+	redialMinBackoff = 5 * time.Millisecond
+	redialMaxBackoff = 500 * time.Millisecond
+	redialTimeout    = time.Second
 )
 
 // retryLaterError is the client-side face of a MsgRetryLater refusal.
@@ -31,20 +44,28 @@ var ErrClosed = errors.New("net: client closed")
 // goroutines may issue calls concurrently, each call is matched to its
 // response by request id, and responses may return in any order (the
 // server's coalescer reorders Gets relative to writes). On a transport
-// failure every in-flight and future call fails with the underlying
-// error; the client does not reconnect.
+// failure every in-flight call fails with the underlying error; the
+// next call redials the server with exponential backoff (see the
+// redial constants), so a restarted or recovered server is rejoined
+// transparently. Only Close is permanent.
 type Client struct {
-	nc net.Conn
+	addr string // redial target ("" disables reconnection)
 
 	wmu  sync.Mutex // serializes frame writes
 	wbuf bytes.Buffer
 
-	mu      sync.Mutex
-	waiters map[uint64]chan *Msg
-	failErr error // non-nil once the client has failed or closed
+	mu            sync.Mutex
+	nc            net.Conn
+	waiters       map[uint64]chan *Msg
+	failErr       error  // non-nil while the current connection is dead
+	closed        bool   // Close called: never redial
+	epoch         uint64 // connection generation; stale readers no-op
+	redialAt      time.Time
+	redialBackoff time.Duration
+	readerDone    chan struct{} // current connection's reader
 
-	nextID     atomic.Uint64
-	readerDone chan struct{}
+	probing atomic.Bool // one background probe at a time
+	nextID  atomic.Uint64
 }
 
 // Dial connects to a Server at addr.
@@ -53,45 +74,122 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{nc: nc, waiters: map[uint64]chan *Msg{}, readerDone: make(chan struct{})}
-	go c.reader()
+	done := make(chan struct{})
+	c := &Client{addr: addr, nc: nc, waiters: map[uint64]chan *Msg{}, epoch: 1, readerDone: done}
+	go c.reader(nc, 1, done)
 	return c, nil
 }
 
-// Close tears the connection down; in-flight calls fail with ErrClosed.
-// The reader goroutine is joined before Close returns.
+// Close tears the connection down permanently; in-flight calls fail
+// with ErrClosed and no redial is ever attempted. The current reader
+// goroutine is joined before Close returns.
 func (c *Client) Close() error {
-	c.fail(ErrClosed)
-	<-c.readerDone
+	c.mu.Lock()
+	c.closed = true
+	done := c.readerDone
+	c.mu.Unlock()
+	c.failConn(0, ErrClosed)
+	<-done
 	return nil
 }
 
-// fail marks the client dead (first error wins), severs the socket,
-// and wakes every waiter.
-func (c *Client) fail(err error) {
+// Healthy reports whether the client has a live connection. A false
+// result is advisory: the next call will attempt a redial (unless the
+// client is closed).
+func (c *Client) Healthy() bool {
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failErr == nil && !c.closed
+}
+
+// failConn marks connection generation epoch dead (first error wins),
+// severs its socket, and wakes every waiter. epoch 0 forces failure of
+// the current connection (the Close path); a stale epoch — a reader
+// whose connection was already replaced by a redial — is a no-op.
+func (c *Client) failConn(epoch uint64, err error) {
+	c.mu.Lock()
+	if epoch != 0 && epoch != c.epoch {
+		c.mu.Unlock()
+		return
+	}
 	if c.failErr == nil {
 		c.failErr = err
 	}
 	waiters := c.waiters
 	c.waiters = map[uint64]chan *Msg{}
+	nc := c.nc
 	c.mu.Unlock()
-	_ = c.nc.Close()
+	_ = nc.Close()
 	for _, ch := range waiters {
 		close(ch)
 	}
 }
 
-// reader dispatches response frames to their waiters until the stream
-// ends. An unmatched response id (a waiter that already failed) is
-// dropped.
-func (c *Client) reader() {
-	defer close(c.readerDone)
+// redialLocked (mu held) re-establishes the connection when allowed:
+// never after Close, at most once per backoff window. On success the
+// epoch advances and a fresh reader starts; on failure the window
+// doubles (capped) and the dial error is returned.
+func (c *Client) redialLocked() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.addr == "" {
+		return c.failErr
+	}
+	now := time.Now()
+	if now.Before(c.redialAt) {
+		return c.failErr // inside the backoff window: fail fast
+	}
+	backoff := c.redialBackoff
+	if backoff < redialMinBackoff {
+		backoff = redialMinBackoff
+	} else if backoff < redialMaxBackoff {
+		backoff *= 2
+	}
+	c.redialBackoff = backoff
+	c.redialAt = now.Add(backoff)
+	nc, err := net.DialTimeout("tcp", c.addr, redialTimeout)
+	if err != nil {
+		return fmt.Errorf("net: redial %s: %w", c.addr, err)
+	}
+	c.nc = nc
+	c.failErr = nil
+	c.epoch++
+	c.redialBackoff = 0
+	c.redialAt = time.Time{}
+	c.waiters = map[uint64]chan *Msg{}
+	done := make(chan struct{})
+	c.readerDone = done
+	go c.reader(nc, c.epoch, done)
+	return nil
+}
+
+// probe attempts one background redial if the client is dead and its
+// backoff window has elapsed — the Pool's cheap way to resurrect a
+// recovered server without routing a real request at it.
+func (c *Client) probe() {
+	if !c.probing.CompareAndSwap(false, true) {
+		return
+	}
+	defer c.probing.Store(false)
+	c.mu.Lock()
+	if c.failErr != nil && !c.closed {
+		_ = c.redialLocked()
+	}
+	c.mu.Unlock()
+}
+
+// reader dispatches one connection's response frames to their waiters
+// until the stream ends. An unmatched response id (a waiter that
+// already failed) is dropped; request ids are client-global, so a
+// stale connection's responses can never match a newer call.
+func (c *Client) reader(nc net.Conn, epoch uint64, done chan struct{}) {
+	defer close(done)
 	var scratch []byte
 	for {
-		m, sc, err := readMsg(c.nc, scratch)
+		m, sc, err := readMsg(nc, scratch)
 		if err != nil {
-			c.fail(fmt.Errorf("net: connection lost: %w", err))
+			c.failConn(epoch, fmt.Errorf("net: connection lost: %w", err))
 			return
 		}
 		scratch = sc
@@ -107,24 +205,28 @@ func (c *Client) reader() {
 	}
 }
 
-// call sends one request and waits for its response.
+// call sends one request and waits for its response, redialing first
+// when the previous connection failed.
 func (c *Client) call(m *Msg) (*Msg, error) {
 	m.ID = c.nextID.Add(1)
 	ch := make(chan *Msg, 1)
 	c.mu.Lock()
-	if c.failErr != nil {
-		err := c.failErr
-		c.mu.Unlock()
-		return nil, err
+	if c.failErr != nil || c.closed {
+		if err := c.redialLocked(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
 	}
 	c.waiters[m.ID] = ch
+	nc := c.nc
+	epoch := c.epoch
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := writeMsg(c.nc, &c.wbuf, m)
+	err := writeMsg(nc, &c.wbuf, m)
 	c.wmu.Unlock()
 	if err != nil {
-		c.fail(fmt.Errorf("net: write failed: %w", err))
+		c.failConn(epoch, fmt.Errorf("net: write failed: %w", err))
 		return nil, err
 	}
 
@@ -133,6 +235,11 @@ func (c *Client) call(m *Msg) (*Msg, error) {
 		c.mu.Lock()
 		err := c.failErr
 		c.mu.Unlock()
+		if err == nil {
+			// The connection died and was already replaced by a
+			// concurrent redial; this call's response is gone either way.
+			err = errors.New("net: connection reset during call")
+		}
 		return nil, err
 	}
 	switch resp.Type {
@@ -213,6 +320,40 @@ func (c *Client) Stats() (*Stats, error) {
 	return resp.Stats, nil
 }
 
+// Topo fetches the server's shard separators — the routing table a
+// range-aware router partitions key batches with. Like Stats, Topo
+// bypasses admission control.
+func (c *Client) Topo() ([]core.Key, error) {
+	resp, err := c.call(&Msg{Type: MsgTopo})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgTopoReply {
+		return nil, fmt.Errorf("net: unexpected response type %d to Topo", resp.Type)
+	}
+	return resp.Keys, nil
+}
+
+// ReplStat fetches the server's replication status: role, epoch, the
+// snapshot generation it was built from, and per-shard applied
+// sequence numbers. Errors when the server has no replication layer.
+func (c *Client) ReplStat() (role uint8, epoch, gen uint64, seqs []uint64, err error) {
+	resp, err := c.call(&Msg{Type: MsgReplStat})
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if resp.Type != MsgReplStatReply {
+		return 0, 0, 0, nil, fmt.Errorf("net: unexpected response type %d to ReplStat", resp.Type)
+	}
+	return resp.Role, resp.Epoch, resp.Gen, resp.Seqs, nil
+}
+
+// Promote asks the server to become the primary (failover). Errors
+// when the server is not promotable or refuses.
+func (c *Client) Promote() error {
+	return c.expectOK(&Msg{Type: MsgPromote})
+}
+
 // Pool is a fixed set of client connections striped round-robin per
 // call. It satisfies load.Target and load.ErrTarget, so the open- and
 // closed-loop generators can drive a remote store exactly as they
@@ -269,8 +410,26 @@ func (p *Pool) Close() error {
 	return first
 }
 
+// pick returns the next connection round-robin, skipping dead ones: a
+// server that vanished stops receiving requests immediately instead of
+// failing every len(cs)/nth call. Skipped connections are probed in
+// the background (rate-limited by the redial backoff), so a recovered
+// server rejoins the rotation without a real request paying the dial.
+// With every connection dead, the scheduled one is returned anyway —
+// its call attempts the redial and surfaces the true error.
 func (p *Pool) pick() *Client {
-	return p.cs[p.next.Add(1)%uint64(len(p.cs))]
+	n := uint64(len(p.cs))
+	start := p.next.Add(1)
+	for k := uint64(0); k < n; k++ {
+		c := p.cs[(start+k)%n]
+		if c.Healthy() {
+			if k > 0 {
+				go p.cs[start%n].probe()
+			}
+			return c
+		}
+	}
+	return p.cs[start%n]
 }
 
 // Stats fetches one snapshot per distinct server behind the pool and

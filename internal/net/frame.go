@@ -27,6 +27,7 @@ import (
 	"repro/internal/binio"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/stats"
 )
 
@@ -48,6 +49,22 @@ const (
 	// maxVarNameLen bounds one rendered series id.
 	maxVars       = 4096
 	maxVarNameLen = 512
+
+	// MaxSnapChunk bounds one snapshot-file chunk on the wire (with
+	// frame overhead it sits comfortably inside MaxFrameBody).
+	MaxSnapChunk = 256 << 10
+
+	// MaxWalOps bounds the op count of one replication wal-batch — the
+	// largest count whose 17-byte encodings fit MaxFrameBody with room
+	// to spare.
+	MaxWalOps = 16384
+
+	// maxShards bounds per-shard vectors (sequence numbers, separators)
+	// in replication frames; a store has tens of shards, not thousands.
+	maxShards = 4096
+
+	// maxSnapNameLen bounds a shipped snapshot file name.
+	maxSnapNameLen = 255
 )
 
 // Message types. Requests flow client→server, responses server→client.
@@ -63,7 +80,31 @@ const (
 	MsgRetryLater                  // admission refusal: retry later
 	MsgError                       // request failed server-side: Err
 	MsgStatsReply                  // stats response: Stats
-	msgTypeEnd                     // sentinel: first invalid type
+
+	// Replication stream (see internal/repl): Subscribe..Heartbeat flow
+	// on a dedicated follower→primary connection, Topo..Promote on the
+	// ordinary serving port.
+	MsgSubscribe     // follower→primary: Epoch, Gen, Seqs (applied per shard)
+	MsgResync        // primary→follower: state unusable, snapshot follows
+	MsgSnapFile      // snapshot chunk: Name, Val (byte offset), Data, Found (last chunk)
+	MsgSnapEnd       // bootstrap commit: Epoch, Gen, Seqs (per-shard stream base)
+	MsgWalBatch      // live stream: Shard, Seq (of Ops[0]), Ops
+	MsgAck           // follower→primary: Seqs received per shard
+	MsgHeartbeat     // primary→follower: Epoch, Seqs written per shard
+	MsgTopo          // request: shard topology
+	MsgTopoReply     // topology: Keys (separators), Gen
+	MsgReplStat      // request: replication status
+	MsgReplStatReply // status: Role, Epoch, Gen, Seqs
+	MsgPromote       // request: promote this follower to writable
+	msgTypeEnd       // sentinel: first invalid type
+)
+
+// Replication roles carried by MsgReplStatReply.
+const (
+	RoleNone     uint8 = iota // server without a replication hook
+	RolePrimary               // accepts writes, streams to followers
+	RoleFollower              // read-only, applying the stream
+	roleEnd                   // sentinel: first invalid role
 )
 
 // Msg is one protocol message; Type selects which fields are
@@ -74,13 +115,24 @@ type Msg struct {
 	Type   uint8
 	ID     uint64
 	Key    core.Key
-	Val    uint64
-	Found  bool
-	Keys   []core.Key // MsgGetBatch
+	Val    uint64 // MsgPut value; MsgSnapFile byte offset
+	Found  bool   // MsgValue found bit; MsgSnapFile last-chunk bit
+	Keys   []core.Key // MsgGetBatch; MsgTopoReply separators
 	Vals   []uint64   // MsgValueBatch
 	FoundN uint32     // MsgValueBatch: number of keys found
 	Err    string     // MsgError
 	Stats  *Stats     // MsgStatsReply
+
+	// Replication fields.
+	Epoch uint64       // primary incarnation (MsgSubscribe, MsgSnapEnd, MsgHeartbeat, MsgReplStatReply)
+	Gen   uint64       // snapshot generation (MsgSubscribe, MsgSnapEnd, MsgTopoReply, MsgReplStatReply)
+	Shard uint32       // MsgWalBatch
+	Seq   uint64       // MsgWalBatch: sequence number of Ops[0]
+	Seqs  []uint64     // per-shard sequence vector
+	Name  string       // MsgSnapFile
+	Data  []byte       // MsgSnapFile chunk payload
+	Ops   []persist.Op // MsgWalBatch
+	Role  uint8        // MsgReplStatReply
 }
 
 // Stats is the server's live counter snapshot, shipped in a stats
@@ -226,6 +278,85 @@ func encodeMsg(buf *bytes.Buffer, m *Msg) ([]byte, error) {
 			w.Str(v.Name)
 			w.F64(v.Value)
 		}
+	case MsgSubscribe:
+		w.U64(m.Epoch)
+		w.U64(m.Gen)
+		if err := encodeSeqs(w, m.Seqs); err != nil {
+			return nil, err
+		}
+	case MsgResync, MsgTopo, MsgReplStat, MsgPromote:
+		// header only
+	case MsgSnapFile:
+		if len(m.Name) == 0 || len(m.Name) > maxSnapNameLen {
+			return nil, binio.Corruptf("encode: snap file name length %d out of range", len(m.Name))
+		}
+		if len(m.Data) > MaxSnapChunk {
+			return nil, binio.Corruptf("encode: snap chunk of %d bytes exceeds limit %d", len(m.Data), MaxSnapChunk)
+		}
+		w.Str(m.Name)
+		w.U64(m.Val)
+		last := uint8(0)
+		if m.Found {
+			last = 1
+		}
+		w.U8(last)
+		w.U32(uint32(len(m.Data)))
+		w.Bytes(m.Data)
+	case MsgSnapEnd:
+		w.U64(m.Epoch)
+		w.U64(m.Gen)
+		if err := encodeSeqs(w, m.Seqs); err != nil {
+			return nil, err
+		}
+	case MsgWalBatch:
+		if len(m.Ops) > MaxWalOps {
+			return nil, binio.Corruptf("encode: wal batch of %d ops exceeds limit %d", len(m.Ops), MaxWalOps)
+		}
+		w.U32(m.Shard)
+		w.U64(m.Seq)
+		w.U32(uint32(len(m.Ops)))
+		for _, op := range m.Ops {
+			tomb := uint8(0)
+			if op.Tomb {
+				tomb = 1
+			}
+			w.U8(tomb)
+			w.U64(uint64(op.Key))
+			w.U64(op.Val)
+		}
+	case MsgAck:
+		if err := encodeSeqs(w, m.Seqs); err != nil {
+			return nil, err
+		}
+	case MsgHeartbeat:
+		w.U64(m.Epoch)
+		if err := encodeSeqs(w, m.Seqs); err != nil {
+			return nil, err
+		}
+	case MsgTopoReply:
+		w.U64(m.Gen)
+		if len(m.Keys) > maxShards {
+			return nil, binio.Corruptf("encode: %d separators exceed limit %d", len(m.Keys), maxShards)
+		}
+		w.U32(uint32(len(m.Keys)))
+		for i, k := range m.Keys {
+			// Separators strictly increase by construction; the wire form
+			// is canonical, so the invariant is enforced on both sides.
+			if i > 0 && k <= m.Keys[i-1] {
+				return nil, binio.Corruptf("encode: separators not strictly ascending")
+			}
+			w.U64(uint64(k))
+		}
+	case MsgReplStatReply:
+		if m.Role >= roleEnd {
+			return nil, binio.Corruptf("encode: unknown role %d", m.Role)
+		}
+		w.U8(m.Role)
+		w.U64(m.Epoch)
+		w.U64(m.Gen)
+		if err := encodeSeqs(w, m.Seqs); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, binio.Corruptf("encode: unknown message type %d", m.Type)
 	}
@@ -233,6 +364,34 @@ func encodeMsg(buf *bytes.Buffer, m *Msg) ([]byte, error) {
 		return nil, w.Err()
 	}
 	return buf.Bytes(), nil
+}
+
+// encodeSeqs writes a bounded per-shard sequence vector.
+func encodeSeqs(w *binio.Writer, seqs []uint64) error {
+	if len(seqs) > maxShards {
+		return binio.Corruptf("encode: %d shard seqs exceed limit %d", len(seqs), maxShards)
+	}
+	w.U32(uint32(len(seqs)))
+	for _, s := range seqs {
+		w.U64(s)
+	}
+	return nil
+}
+
+// decodeSeqs reads a bounded per-shard sequence vector.
+func decodeSeqs(r *binio.Reader) ([]uint64, error) {
+	n := r.Count(8)
+	if n > maxShards {
+		return nil, binio.Corruptf("%d shard seqs exceed limit %d", n, maxShards)
+	}
+	if n == 0 {
+		return nil, r.Err()
+	}
+	seqs := make([]uint64, n)
+	for i := range seqs {
+		seqs[i] = r.U64()
+	}
+	return seqs, r.Err()
 }
 
 // decodeMsg parses one message body. The returned Msg owns its memory:
@@ -325,6 +484,110 @@ func decodeMsg(body []byte) (*Msg, error) {
 			}
 		}
 		m.Stats = s
+	case MsgSubscribe, MsgSnapEnd:
+		m.Epoch = r.U64()
+		m.Gen = r.U64()
+		seqs, err := decodeSeqs(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Seqs = seqs
+	case MsgResync, MsgTopo, MsgReplStat, MsgPromote:
+		// header only
+	case MsgSnapFile:
+		m.Name = r.Str(maxSnapNameLen)
+		if r.Err() == nil && len(m.Name) == 0 {
+			return nil, binio.Corruptf("empty snap file name")
+		}
+		m.Val = r.U64()
+		switch r.U8() {
+		case 0:
+		case 1:
+			m.Found = true
+		default:
+			if r.Err() == nil {
+				return nil, binio.Corruptf("last-chunk flag out of range")
+			}
+		}
+		n := r.Count(1)
+		if n > MaxSnapChunk {
+			return nil, binio.Corruptf("snap chunk of %d bytes exceeds limit %d", n, MaxSnapChunk)
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if n > 0 {
+			m.Data = append([]byte(nil), r.Bytes(n)...)
+		}
+	case MsgWalBatch:
+		m.Shard = r.U32()
+		m.Seq = r.U64()
+		n := r.Count(17)
+		if n > MaxWalOps {
+			return nil, binio.Corruptf("wal batch of %d ops exceeds limit %d", n, MaxWalOps)
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if n > 0 {
+			m.Ops = make([]persist.Op, n)
+			for i := range m.Ops {
+				switch r.U8() {
+				case 0:
+				case 1:
+					m.Ops[i].Tomb = true
+				default:
+					if r.Err() == nil {
+						return nil, binio.Corruptf("tombstone flag out of range")
+					}
+				}
+				m.Ops[i].Key = core.Key(r.U64())
+				m.Ops[i].Val = r.U64()
+			}
+		}
+	case MsgAck:
+		seqs, err := decodeSeqs(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Seqs = seqs
+	case MsgHeartbeat:
+		m.Epoch = r.U64()
+		seqs, err := decodeSeqs(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Seqs = seqs
+	case MsgTopoReply:
+		m.Gen = r.U64()
+		n := r.Count(8)
+		if n > maxShards {
+			return nil, binio.Corruptf("%d separators exceed limit %d", n, maxShards)
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if n > 0 {
+			m.Keys = make([]core.Key, n)
+			for i := range m.Keys {
+				m.Keys[i] = core.Key(r.U64())
+				if r.Err() == nil && i > 0 && m.Keys[i] <= m.Keys[i-1] {
+					return nil, binio.Corruptf("separators not strictly ascending")
+				}
+			}
+		}
+	case MsgReplStatReply:
+		m.Role = r.U8()
+		if r.Err() == nil && m.Role >= roleEnd {
+			return nil, binio.Corruptf("unknown role %d", m.Role)
+		}
+		m.Epoch = r.U64()
+		m.Gen = r.U64()
+		seqs, err := decodeSeqs(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Seqs = seqs
 	}
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -357,4 +620,19 @@ func readMsg(r io.Reader, scratch []byte) (*Msg, []byte, error) {
 		scratch = body[:cap(body)]
 	}
 	return m, scratch, err
+}
+
+// WriteMsg encodes m and writes it as one framed message, using buf as
+// the encode scratch. Callers serialize access to (w, buf). Exported
+// for the replication subsystem, whose streaming connections speak the
+// same frame protocol outside the Server's request/response loop.
+func WriteMsg(w io.Writer, buf *bytes.Buffer, m *Msg) error {
+	return writeMsg(w, buf, m)
+}
+
+// ReadMsg reads and decodes one framed message, reusing scratch; it
+// returns the (possibly grown) scratch for the next call. The exported
+// face of readMsg (see WriteMsg).
+func ReadMsg(r io.Reader, scratch []byte) (*Msg, []byte, error) {
+	return readMsg(r, scratch)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/binio"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/stats"
 )
 
@@ -43,6 +44,24 @@ func seedMsgs() []*Msg {
 				{Name: "sosd_store_read_amp", Value: 1.75},
 			},
 		}},
+		{Type: MsgSubscribe, ID: 14, Epoch: 0xfeed, Gen: 3, Seqs: []uint64{12, 0, 7, 99}},
+		{Type: MsgSubscribe, ID: 15, Epoch: 1, Gen: 0}, // fresh follower: no seqs
+		{Type: MsgResync, ID: 16},
+		{Type: MsgSnapFile, ID: 17, Name: "shard-0001-g000003-r00.tab", Val: 262144,
+			Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Type: MsgSnapFile, ID: 18, Name: "MANIFEST", Val: 0, Found: true, Data: []byte("x")},
+		{Type: MsgSnapEnd, ID: 19, Epoch: 0xfeed, Gen: 3, Seqs: []uint64{100, 200}},
+		{Type: MsgWalBatch, ID: 20, Shard: 2, Seq: 101, Ops: []persist.Op{
+			{Key: 5, Val: 50}, {Key: 9, Tomb: true},
+		}},
+		{Type: MsgAck, ID: 21, Seqs: []uint64{101, 0}},
+		{Type: MsgHeartbeat, ID: 22, Epoch: 0xfeed, Seqs: []uint64{103, 4}},
+		{Type: MsgTopo, ID: 23},
+		{Type: MsgTopoReply, ID: 24, Gen: 3, Keys: []core.Key{1 << 20, 1 << 40, 1 << 60}},
+		{Type: MsgReplStat, ID: 25},
+		{Type: MsgReplStatReply, ID: 26, Role: RoleFollower, Epoch: 0xfeed, Gen: 3,
+			Seqs: []uint64{101, 4}},
+		{Type: MsgPromote, ID: 27},
 	}
 }
 

@@ -118,8 +118,8 @@ func TestServerShutdownLeavesNoGoroutines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c3 := &Client{nc: nc, waiters: map[uint64]chan *Msg{}, readerDone: make(chan struct{})}
-	go c3.reader()
+	c3 := &Client{nc: nc, waiters: map[uint64]chan *Msg{}, readerDone: make(chan struct{}), epoch: 1}
+	go c3.reader(nc, 1, c3.readerDone)
 	if _, _, err := c3.Get(keys[0]); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,165 @@
+package net
+
+import (
+	"errors"
+	stdnet "net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+// redialStore builds a small store for the redial tests.
+func redialStore(t *testing.T) (*serve.Store, []core.Key) {
+	t.Helper()
+	keys, err := dataset.Generate(dataset.Amzn, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := serve.New(keys, dataset.Payloads(len(keys), 7), serve.Config{Shards: 2, Family: "PGM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	return st, keys
+}
+
+// TestClientRedial kills the server under a client, restarts it on the
+// same address, and verifies the client reconnects on a later call
+// instead of failing forever.
+func TestClientRedial(t *testing.T) {
+	st, keys := redialStore(t)
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := Serve(ln, st, Config{})
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Get(keys[0]); err != nil {
+		t.Fatalf("get before restart: %v", err)
+	}
+	if !c.Healthy() {
+		t.Fatal("client unhealthy while connected")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The severed connection must surface as an error, not a hang.
+	if _, _, err := c.Get(keys[0]); err == nil {
+		t.Fatal("get on severed connection succeeded")
+	}
+
+	ln2, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	srv2 := Serve(ln2, st, Config{})
+	defer srv2.Close()
+
+	// Within a few backoff windows the client must reconnect and serve.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, found, err := c.Get(keys[1])
+		if err == nil {
+			if !found {
+				t.Fatal("reconnected get lost the key")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reconnected: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !c.Healthy() {
+		t.Fatal("client unhealthy after reconnect")
+	}
+
+	// Close is still permanent: no redial after it.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(keys[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("get after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestPoolSkipsDeadServer runs a pool over two servers, kills one, and
+// verifies calls keep succeeding (the dead server is skipped) and that
+// the revived server rejoins the rotation.
+func TestPoolSkipsDeadServer(t *testing.T) {
+	st, keys := redialStore(t)
+	srvA, err := Listen("127.0.0.1:0", st, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	lnB, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := lnB.Addr().String()
+	srvB := Serve(lnB, st, Config{})
+
+	p, err := DialPoolMulti([]string{srvA.Addr().String(), addrB}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 8; i++ {
+		if _, _, err := p.TryGet(keys[i]); err != nil {
+			t.Fatalf("warmup get %d: %v", i, err)
+		}
+	}
+
+	if err := srvB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the pool discover the dead connections (first calls on them
+	// fail and mark them), then every subsequent call must be routed to
+	// the live server.
+	for i := 0; i < 16; i++ {
+		p.TryGet(keys[i%len(keys)])
+	}
+	time.Sleep(20 * time.Millisecond) // in-flight probes settle
+	for i := 0; i < 64; i++ {
+		if _, _, err := p.TryGet(keys[i%len(keys)]); err != nil {
+			t.Fatalf("get %d with one server dead: %v", i, err)
+		}
+	}
+
+	// Revive server B; background probes must bring its connections
+	// back into rotation.
+	lnB2, err := stdnet.Listen("tcp", addrB)
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addrB, err)
+	}
+	srvB2 := Serve(lnB2, st, Config{})
+	defer srvB2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		healthy := 0
+		for _, c := range p.cs {
+			if c.Healthy() {
+				healthy++
+			}
+		}
+		if healthy == len(p.cs) {
+			break
+		}
+		p.TryGet(keys[0]) // picks trigger probes
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never resurrected revived server (%d/%d healthy)", healthy, len(p.cs))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -62,6 +62,18 @@ type Config struct {
 	// Config.Tracer for the route/probe/merge phases of the same
 	// stack).
 	Tracer *obs.Tracer
+
+	// ReplStat, when non-nil, answers MsgReplStat with this node's
+	// replication role, epoch, applied generation, and per-shard applied
+	// sequence numbers. Nodes without a replication layer leave it nil
+	// and refuse the request.
+	ReplStat func() (role uint8, epoch, gen uint64, seqs []uint64)
+
+	// Promote, when non-nil, asks this node to become the primary
+	// (drain any replication tail, lift the read-only gate). Invoked
+	// from a connection's reader goroutine; it must be safe to call
+	// more than once.
+	Promote func() error
 }
 
 func (c Config) withDefaults() Config {
@@ -498,6 +510,26 @@ func (c *srvConn) handle(m *Msg) {
 	case MsgStats:
 		// Monitoring must work under overload: never admission-gated.
 		c.send(&Msg{Type: MsgStatsReply, ID: m.ID, Stats: s.Stats()})
+	case MsgTopo:
+		// Routing metadata, like monitoring: never admission-gated.
+		c.send(&Msg{Type: MsgTopoReply, ID: m.ID, Keys: s.st.Separators()})
+	case MsgReplStat:
+		if s.cfg.ReplStat == nil {
+			c.send(&Msg{Type: MsgError, ID: m.ID, Err: "no replication status"})
+			return
+		}
+		role, epoch, gen, seqs := s.cfg.ReplStat()
+		c.send(&Msg{Type: MsgReplStatReply, ID: m.ID, Role: role, Epoch: epoch, Gen: gen, Seqs: seqs})
+	case MsgPromote:
+		if s.cfg.Promote == nil {
+			c.send(&Msg{Type: MsgError, ID: m.ID, Err: "not promotable"})
+			return
+		}
+		if err := s.cfg.Promote(); err != nil {
+			c.send(&Msg{Type: MsgError, ID: m.ID, Err: err.Error()})
+			return
+		}
+		c.send(&Msg{Type: MsgOK, ID: m.ID})
 	case MsgGet:
 		if !s.admit() {
 			c.send(&Msg{Type: MsgRetryLater, ID: m.ID})
@@ -517,6 +549,10 @@ func (c *srvConn) handle(m *Msg) {
 		s.lat.Record(time.Since(t0).Nanoseconds())
 		s.release()
 	case MsgPut:
+		if s.st.ReadOnly() {
+			c.send(&Msg{Type: MsgError, ID: m.ID, Err: "read-only replica"})
+			return
+		}
 		if !s.admit() {
 			c.send(&Msg{Type: MsgRetryLater, ID: m.ID})
 			return
@@ -527,6 +563,10 @@ func (c *srvConn) handle(m *Msg) {
 		s.lat.Record(time.Since(t0).Nanoseconds())
 		s.release()
 	case MsgDelete:
+		if s.st.ReadOnly() {
+			c.send(&Msg{Type: MsgError, ID: m.ID, Err: "read-only replica"})
+			return
+		}
 		if !s.admit() {
 			c.send(&Msg{Type: MsgRetryLater, ID: m.ID})
 			return

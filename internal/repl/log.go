@@ -1,0 +1,180 @@
+// Package repl is the replication subsystem: a primary tails each
+// shard's committed write-ahead log plus its live appends and streams
+// them to followers over the framed wire protocol; followers bootstrap
+// from a shipped snapshot generation, replay the WAL tail into a
+// read-only serve.Store, then apply the live stream; a range-aware
+// router fans GetBatch across replicas as per-shard sub-batches,
+// tracks per-replica lag, and on primary loss promotes the
+// most-caught-up follower.
+//
+// Sequence numbers are per shard and per primary incarnation: a fresh
+// primary draws a random epoch and numbers each shard's writes 1, 2,
+// 3, … in the exact order they took effect (the hook runs under the
+// shard's write lock). A follower's durable position is the
+// (epoch, per-shard seq) vector in its REPLSTATE file, written only
+// after its own WAL is synced — it may undercount what the store
+// already holds, never overcount, so the re-streamed suffix replays
+// convergently (last-write-wins ops are idempotent under in-order
+// replay).
+package repl
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/persist"
+)
+
+// DefaultRingOps bounds one shard's in-memory stream ring. A follower
+// that falls more than a ring behind is told to resync (bootstrap from
+// a fresh snapshot) instead of the primary buffering unboundedly.
+const DefaultRingOps = 1 << 16
+
+// Log is the primary's stream source: one in-memory op ring per shard,
+// fed by the store's WriteHook, seeded from the committed WAL tail of
+// an attached store. Appends assign the per-shard sequence numbers the
+// whole subsystem is ordered by.
+type Log struct {
+	epoch   uint64
+	ringCap int
+
+	mu      sync.Mutex
+	notifyC chan struct{} // non-nil only while a streamer waits
+	shards  []logShard
+}
+
+// logShard is one shard's ring: ops[k] carries sequence base+k+1, so
+// base is the seq of the last evicted (or zero) record and base+len
+// the last assigned.
+type logShard struct {
+	base uint64
+	ops  []persist.Op
+}
+
+// NewLog creates a stream log for a store with the given shard count,
+// under a fresh random epoch (a primary incarnation identity: a
+// follower subscribed under another epoch must resync).
+func NewLog(shards int) *Log {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("repl: no entropy for epoch: " + err.Error())
+	}
+	e := binary.LittleEndian.Uint64(b[:])
+	if e == 0 {
+		e = 1
+	}
+	return &Log{epoch: e, ringCap: DefaultRingOps, shards: make([]logShard, shards)}
+}
+
+// Epoch is this primary incarnation's identity.
+func (l *Log) Epoch() uint64 { return l.epoch }
+
+// NumShards reports the per-shard ring count.
+func (l *Log) NumShards() int { return len(l.shards) }
+
+// Hook adapts the log to serve.Config.WriteHook: every write the store
+// applies is appended to its shard's ring in apply order.
+func (l *Log) Hook() func(shard int, op persist.Op) {
+	return func(shard int, op persist.Op) { l.Append(shard, op) }
+}
+
+// Append assigns the next sequence number of shard's stream to op and
+// returns it, waking any waiting streamer.
+func (l *Log) Append(shard int, op persist.Op) uint64 {
+	l.mu.Lock()
+	s := &l.shards[shard]
+	s.ops = append(s.ops, op)
+	if len(s.ops) > l.ringCap {
+		drop := len(s.ops) - l.ringCap
+		s.base += uint64(drop)
+		s.ops = append(s.ops[:0:0], s.ops[drop:]...)
+	}
+	seq := s.base + uint64(len(s.ops))
+	ch := l.notifyC
+	l.notifyC = nil
+	l.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+	return seq
+}
+
+// SeedFromDir preloads the rings with each shard's committed WAL tail
+// — the pending writes a snapshot directory carries past its run
+// files. Call once, before any Append, on a primary opened from disk:
+// the seeded ops take seqs 1..n exactly as the attached store replays
+// them, so a snapshot captured later agrees with the ring.
+func (l *Log) SeedFromDir(dir string) error {
+	m, err := persist.ReadManifest(filepath.Join(dir, persist.ManifestName))
+	if err != nil {
+		return err
+	}
+	if len(m.Shards) != len(l.shards) {
+		return fmt.Errorf("repl: manifest has %d shards, log has %d", len(m.Shards), len(l.shards))
+	}
+	for i, sm := range m.Shards {
+		ops, err := persist.TailWAL(filepath.Join(dir, sm.WAL), 0)
+		if err != nil {
+			return err
+		}
+		l.shards[i].ops = append(l.shards[i].ops, ops...)
+	}
+	return nil
+}
+
+// Seqs snapshots the last assigned sequence number per shard.
+func (l *Log) Seqs() []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]uint64, len(l.shards))
+	for i := range l.shards {
+		out[i] = l.shards[i].base + uint64(len(l.shards[i].ops))
+	}
+	return out
+}
+
+// SeqOf reports shard's last assigned sequence number. Safe to call
+// from a SnapshotWith capture callback: the callback holds the shard's
+// write lock, so the value is exactly the stream position the captured
+// state corresponds to.
+func (l *Log) SeqOf(shard int) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := &l.shards[shard]
+	return s.base + uint64(len(s.ops))
+}
+
+// TailFrom copies out shard's ops with sequence numbers in
+// (from, from+maxOps]. ok=false means from precedes the ring (the ops
+// were evicted): the subscriber must resync from a snapshot.
+func (l *Log) TailFrom(shard int, from uint64, maxOps int) (ops []persist.Op, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := &l.shards[shard]
+	if from < s.base {
+		return nil, false
+	}
+	start := int(from - s.base)
+	if start >= len(s.ops) {
+		return nil, true
+	}
+	end := len(s.ops)
+	if maxOps > 0 && end-start > maxOps {
+		end = start + maxOps
+	}
+	return append([]persist.Op(nil), s.ops[start:end]...), true
+}
+
+// Updated returns a channel closed by the next Append — the streamer's
+// wait point between drained tails.
+func (l *Log) Updated() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.notifyC == nil {
+		l.notifyC = make(chan struct{})
+	}
+	return l.notifyC
+}

@@ -1,0 +1,391 @@
+package repl
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/load"
+	"repro/internal/persist"
+	"repro/internal/serve"
+)
+
+var _ load.ErrTarget = (*Router)(nil)
+
+// --- Log unit tests ---
+
+func TestLogSeqAssignment(t *testing.T) {
+	l := NewLog(2)
+	if l.Epoch() == 0 {
+		t.Fatal("zero epoch")
+	}
+	for i := 0; i < 10; i++ {
+		if seq := l.Append(0, persist.Op{Key: uint64(i)}); seq != uint64(i)+1 {
+			t.Fatalf("shard 0 append %d got seq %d", i, seq)
+		}
+	}
+	if seq := l.Append(1, persist.Op{Key: 99}); seq != 1 {
+		t.Fatalf("shard 1 first seq %d", seq)
+	}
+	want := []uint64{10, 1}
+	for i, q := range l.Seqs() {
+		if q != want[i] {
+			t.Fatalf("Seqs()[%d] = %d, want %d", i, q, want[i])
+		}
+	}
+	ops, ok := l.TailFrom(0, 4, 0)
+	if !ok || len(ops) != 6 || ops[0].Key != 4 {
+		t.Fatalf("TailFrom(0,4) = %d ops ok=%v", len(ops), ok)
+	}
+	ops, ok = l.TailFrom(0, 4, 2)
+	if !ok || len(ops) != 2 || ops[1].Key != 5 {
+		t.Fatalf("capped TailFrom = %d ops", len(ops))
+	}
+	if ops, ok := l.TailFrom(0, 10, 0); !ok || len(ops) != 0 {
+		t.Fatalf("TailFrom at tip = %d ops ok=%v", len(ops), ok)
+	}
+}
+
+func TestLogEviction(t *testing.T) {
+	l := NewLog(1)
+	l.ringCap = 8
+	for i := 0; i < 20; i++ {
+		l.Append(0, persist.Op{Key: uint64(i)})
+	}
+	// Ring holds the last 8 ops at most; base advanced past seq 12.
+	if _, ok := l.TailFrom(0, 0, 0); ok {
+		t.Fatal("evicted position still readable")
+	}
+	ops, ok := l.TailFrom(0, 19, 0)
+	if !ok || len(ops) != 1 || ops[0].Key != 19 {
+		t.Fatalf("tip read after eviction: %d ops ok=%v", len(ops), ok)
+	}
+}
+
+func TestLogNotify(t *testing.T) {
+	l := NewLog(1)
+	ch := l.Updated()
+	select {
+	case <-ch:
+		t.Fatal("notified before append")
+	default:
+	}
+	l.Append(0, persist.Op{Key: 1})
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("append did not notify")
+	}
+}
+
+// --- State codec ---
+
+func TestStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadState(dir); !os.IsNotExist(err) {
+		t.Fatalf("fresh dir: %v", err)
+	}
+	in := &State{Epoch: 0xdeadbeef, Gen: 7, Seqs: []uint64{3, 0, 99}}
+	if err := WriteState(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != in.Epoch || out.Gen != in.Gen || len(out.Seqs) != 3 ||
+		out.Seqs[0] != 3 || out.Seqs[2] != 99 {
+		t.Fatalf("round trip: %+v", out)
+	}
+	// A flipped byte is detected.
+	path := dir + "/" + StateName
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-12] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadState(dir); err == nil {
+		t.Fatal("corrupt state read back clean")
+	}
+}
+
+// --- Topology helpers for the integration tests ---
+
+// testPrimary is a volatile primary: store + hooked log + repl listener.
+func testPrimary(t *testing.T, keys []core.Key, payloads []uint64, shards int) (*serve.Store, *Log, *Primary) {
+	t.Helper()
+	log := NewLog(shards)
+	st, err := serve.New(keys, payloads, serve.Config{
+		Shards: shards, Family: "PGM", WriteHook: log.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumShards() != shards {
+		t.Fatalf("store clamped to %d shards", st.NumShards())
+	}
+	p, err := NewPrimary(st, log, "127.0.0.1:0", PrimaryConfig{HeartbeatEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, log, p
+}
+
+func testKeys(t *testing.T, n int) ([]core.Key, []uint64) {
+	t.Helper()
+	keys, err := dataset.Generate(dataset.Amzn, n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys, dataset.Payloads(len(keys), 11)
+}
+
+// oracleCheck compares the replica against a map oracle, via full scans.
+func oracleCheck(t *testing.T, st *serve.Store, oracle map[core.Key]uint64) {
+	t.Helper()
+	got := map[core.Key]uint64{}
+	st.Scan(0, ^core.Key(0), func(k core.Key, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(oracle) {
+		t.Fatalf("replica holds %d keys, oracle %d", len(got), len(oracle))
+	}
+	for k, v := range oracle {
+		if gv, ok := got[k]; !ok || gv != v {
+			t.Fatalf("key %d: replica %d,%v want %d", k, gv, ok, v)
+		}
+	}
+}
+
+// TestFollowerBootstrapAndStream is the happy path: bootstrap from a
+// snapshot, apply live writes, verify laws and convergence.
+func TestFollowerBootstrapAndStream(t *testing.T) {
+	keys, payloads := testKeys(t, 4000)
+	st, log, p := testPrimary(t, keys, payloads, 4)
+	defer st.Close()
+	defer p.Close()
+
+	oracle := map[core.Key]uint64{}
+	for i, k := range keys {
+		oracle[k] = payloads[i]
+	}
+
+	f, err := StartFollower(FollowerConfig{
+		Dir: t.TempDir(), PrimaryAddr: p.Addr().String(),
+		Store: serve.Config{Family: "PGM"}, SyncEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if err := f.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live writes after bootstrap: updates, inserts, deletes.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			k := keys[rng.Intn(len(keys))]
+			v := rng.Uint64()
+			st.Put(k, v)
+			oracle[k] = v
+		case 1:
+			k := core.Key(rng.Uint64())
+			v := rng.Uint64()
+			st.Put(k, v)
+			oracle[k] = v
+		case 2:
+			k := keys[rng.Intn(len(keys))]
+			st.Delete(k)
+			delete(oracle, k)
+		}
+	}
+
+	if err := f.WaitCaughtUp(log.Seqs(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WaitAcked(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conservation laws: applied <= acked <= streamed.
+	ps, fs := p.Stats(), f.Stats()
+	if ps.AckedOps > ps.StreamedOps {
+		t.Fatalf("acked %d > streamed %d", ps.AckedOps, ps.StreamedOps)
+	}
+	if fs.AppliedOps > fs.AckedOps {
+		t.Fatalf("applied %d > acked %d", fs.AppliedOps, fs.AckedOps)
+	}
+	if ps.Bootstraps != 1 {
+		t.Fatalf("bootstraps = %d, want 1", ps.Bootstraps)
+	}
+
+	rst := f.Store()
+	if !rst.ReadOnly() {
+		t.Fatal("replica is not read-only")
+	}
+	oracleCheck(t, rst, oracle)
+
+	// The read-only gate refuses direct writes but Apply got through.
+	rst.Put(1, 1)
+	if rst.ReadOnlyDrops() == 0 {
+		t.Fatal("direct write on replica was not dropped")
+	}
+}
+
+// TestFollowerWarmRestart stops a follower gracefully and restarts it:
+// it must resume from REPLSTATE without a second bootstrap.
+func TestFollowerWarmRestart(t *testing.T) {
+	keys, payloads := testKeys(t, 2000)
+	st, log, p := testPrimary(t, keys, payloads, 2)
+	defer st.Close()
+	defer p.Close()
+	dir := t.TempDir()
+
+	f, err := StartFollower(FollowerConfig{
+		Dir: dir, PrimaryAddr: p.Addr().String(), Store: serve.Config{Family: "PGM"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		st.Put(keys[i], uint64(i)+1e9)
+	}
+	if err := f.WaitCaughtUp(log.Seqs(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.Stop()
+
+	for i := 500; i < 1000; i++ {
+		st.Put(keys[i], uint64(i)+1e9)
+	}
+	f2, err := StartFollower(FollowerConfig{
+		Dir: dir, PrimaryAddr: p.Addr().String(), Store: serve.Config{Family: "PGM"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Stop()
+	if err := f2.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.WaitCaughtUp(log.Seqs(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.Stats().Bootstraps; n != 1 {
+		t.Fatalf("warm restart re-bootstrapped (%d bootstraps)", n)
+	}
+	for i := 0; i < 1000; i++ {
+		if v, ok := f2.Store().Get(keys[i]); !ok || v != uint64(i)+1e9 {
+			t.Fatalf("key %d after warm restart: %d,%v", i, v, ok)
+		}
+	}
+}
+
+// TestFollowerResyncAfterEviction forces the follower off the ring; it
+// must recover via a second bootstrap, not diverge or wedge.
+func TestFollowerResyncAfterEviction(t *testing.T) {
+	keys, payloads := testKeys(t, 2000)
+	log := NewLog(2)
+	log.ringCap = 256 // tiny ring: easy to fall off
+	st, err := serve.New(keys, payloads, serve.Config{
+		Shards: 2, Family: "PGM", WriteHook: log.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	p, err := NewPrimary(st, log, "127.0.0.1:0", PrimaryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	dir := t.TempDir()
+
+	f, err := StartFollower(FollowerConfig{
+		Dir: dir, PrimaryAddr: p.Addr().String(), Store: serve.Config{Family: "PGM"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.Kill() // killed follower misses the next burst entirely
+
+	oracle := map[core.Key]uint64{}
+	for i, k := range keys {
+		oracle[k] = payloads[i]
+	}
+	for i := 0; i < 2000; i++ { // far past the 256-op ring
+		k := keys[i%len(keys)]
+		st.Put(k, uint64(i)+5e9)
+		oracle[k] = uint64(i) + 5e9
+	}
+
+	f2, err := StartFollower(FollowerConfig{
+		Dir: dir, PrimaryAddr: p.Addr().String(), Store: serve.Config{Family: "PGM"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Stop()
+	if err := f2.WaitCaughtUp(log.Seqs(), 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	oracleCheck(t, f2.Store(), oracle)
+	if f2.Stats().Resyncs == 0 && p.Stats().Bootstraps < 2 {
+		t.Fatal("eviction recovery did not resync")
+	}
+}
+
+// TestPromotion turns a caught-up follower writable.
+func TestPromotion(t *testing.T) {
+	keys, payloads := testKeys(t, 2000)
+	st, log, p := testPrimary(t, keys, payloads, 2)
+	f, err := StartFollower(FollowerConfig{
+		Dir: t.TempDir(), PrimaryAddr: p.Addr().String(), Store: serve.Config{Family: "PGM"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if err := f.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		st.Put(keys[i], uint64(i)+7e9)
+	}
+	if err := f.WaitCaughtUp(log.Seqs(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	st.Close()
+
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	rst := f.Store()
+	if rst.ReadOnly() {
+		t.Fatal("promoted store still read-only")
+	}
+	rst.Put(keys[0], 123456)
+	if v, ok := rst.Get(keys[0]); !ok || v != 123456 {
+		t.Fatalf("write after promotion: %d,%v", v, ok)
+	}
+	if v, ok := rst.Get(keys[199]); !ok || v != 199+7e9 {
+		t.Fatalf("replicated key after promotion: %d,%v", v, ok)
+	}
+}

@@ -1,0 +1,95 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/binio"
+	"repro/internal/persist"
+)
+
+// StateName is the follower's durable-position file inside its replica
+// directory, committed with the same temp+fsync+rename discipline as
+// every other persisted artifact.
+const StateName = "REPLSTATE"
+
+var stateMagic = []byte("sosdREP1")
+
+// maxStateShards guards the decode allocation; mirrors the wire
+// protocol's shard-vector bound.
+const maxStateShards = 4096
+
+// State is a follower's durable replication position: the primary
+// epoch it is subscribed under, the snapshot generation it bootstrapped
+// from, and the per-shard sequence numbers applied AND synced to its
+// own WAL. It is written only after SyncWAL, so it never overestimates
+// what the store durably holds — a crash replays a suffix, never skips
+// one.
+type State struct {
+	Epoch uint64
+	Gen   uint64
+	Seqs  []uint64
+}
+
+// WriteState atomically commits s as dir's REPLSTATE.
+func WriteState(dir string, s *State) error {
+	if len(s.Seqs) > maxStateShards {
+		return fmt.Errorf("repl: state has %d shards, limit %d", len(s.Seqs), maxStateShards)
+	}
+	return persist.AtomicWrite(filepath.Join(dir, StateName), func(w *binio.Writer) error {
+		w.Bytes(stateMagic)
+		w.U32(persist.FormatVersion)
+		w.U64(s.Epoch)
+		w.U64(s.Gen)
+		w.U32(uint32(len(s.Seqs)))
+		for _, q := range s.Seqs {
+			w.U64(q)
+		}
+		w.U64(w.Sum64())
+		return w.Err()
+	})
+}
+
+// ReadState loads and validates dir's REPLSTATE. A missing file is
+// returned as os.ErrNotExist (a fresh follower); a corrupt one is an
+// error — the caller resyncs from scratch.
+func ReadState(dir string) (*State, error) {
+	data, err := os.ReadFile(filepath.Join(dir, StateName))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(stateMagic)+4+8+8+4+8 {
+		return nil, binio.Corruptf("repl: state file too short (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-8], data[len(data)-8:]
+	r := binio.NewReader(body)
+	if string(r.Bytes(len(stateMagic))) != string(stateMagic) {
+		return nil, binio.Corruptf("repl: bad state magic")
+	}
+	if v := r.U32(); v != persist.FormatVersion {
+		return nil, binio.Corruptf("repl: state format version %d, want %d", v, persist.FormatVersion)
+	}
+	s := &State{Epoch: r.U64(), Gen: r.U64()}
+	n := r.Count(8)
+	if n > maxStateShards {
+		return nil, binio.Corruptf("repl: state shard count %d exceeds %d", n, maxStateShards)
+	}
+	if n > 0 {
+		s.Seqs = make([]uint64, n)
+		for i := range s.Seqs {
+			s.Seqs[i] = r.U64()
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, binio.Corruptf("repl: %d trailing bytes in state file", r.Remaining())
+	}
+	if got, want := r.CRCSoFar(), binary.LittleEndian.Uint64(tail); got != want {
+		return nil, binio.Corruptf("repl: state checksum mismatch")
+	}
+	return s, nil
+}

@@ -220,13 +220,38 @@ func (st *Store) Snapshot(dir string) error {
 		return nil
 	}
 
-	// Export to a foreign directory: capture each shard from one
-	// atomic state load (runs and deltas are individually immutable,
-	// so no locks or retries are needed), then commit a complete
-	// generation with a single manifest rename. Exports serialize only
-	// against each other (exportMu), never against the attached
-	// directory's compaction commits — a long backup must not stall
-	// the compactor behind persistMu.
+	return st.exportTo(abs, nil)
+}
+
+// SnapshotWith is Snapshot restricted to a foreign directory, with a
+// per-shard capture callback: onShard(i) runs under shard i's write
+// lock at the exact moment the shard's state is captured, so no write
+// can land between the callback and the captured (runs, pending)
+// point. The replication primary uses it to record, per shard, the
+// stream position a bootstrap snapshot corresponds to — the exported
+// state contains precisely the writes the callback has seen.
+func (st *Store) SnapshotWith(dir string, onShard func(shard int)) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return err
+	}
+	if st.dir != "" && abs == st.dir {
+		return fmt.Errorf("serve: SnapshotWith targets the attached directory %s", dir)
+	}
+	return st.exportTo(abs, onShard)
+}
+
+// exportTo writes a complete generation of the store's state into the
+// foreign directory abs: capture each shard from one atomic state load
+// under the shard's write lock (with the optional capture callback),
+// then commit with a single manifest rename. Exports serialize only
+// against each other (exportMu), never against the attached
+// directory's compaction commits — a long backup must not stall the
+// compactor behind persistMu.
+func (st *Store) exportTo(abs string, onShard func(shard int)) error {
 	st.exportMu.Lock()
 	defer st.exportMu.Unlock()
 	gen := uint64(1)
@@ -242,6 +267,9 @@ func (st *Store) Snapshot(dir string) error {
 		st.writeMu[i].Lock()
 		s := st.shards[i].Load()
 		tag := st.builderIDs[i] // read with its state under the lock
+		if onShard != nil {
+			onShard(i)
+		}
 		st.writeMu[i].Unlock()
 		runs := make([]persist.RunMeta, len(s.runs))
 		for r, t := range s.runs {

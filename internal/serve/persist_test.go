@@ -833,3 +833,102 @@ func TestTieredPersistenceRoundTrip(t *testing.T) {
 	assertStateEqual(t, warm, oracle, "tiered reopen + merge")
 	warm.Close()
 }
+
+// TestAttachedCheckpointUnderWrites is the attached-mode stress: a
+// store opened from its own directory takes repeated own-dir
+// checkpoints (Snapshot to the attached path commits shard by shard
+// and swaps the live WALs) while writers land ops and background
+// compactions run. Whatever interleaving the race produces, a reopen
+// from the directory must serve exactly the final oracle — a
+// checkpoint can never tear the WAL-swap against an in-flight write.
+func TestAttachedCheckpointUnderWrites(t *testing.T) {
+	keys, payloads := testData(t, 6000)
+	seed, err := New(keys, payloads, Config{Shards: 4, Family: "PGM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := seed.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	st, err := Open(dir, Config{CompactThreshold: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[core.Key]uint64{}
+	for i, k := range keys {
+		oracle[k] = payloads[i]
+	}
+
+	const writers = 4
+	const opsPerWriter = 1500
+	var wg sync.WaitGroup
+	oracles := make([]map[core.Key]uint64, writers)
+	span := len(keys) / writers
+	for wid := 0; wid < writers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			mine := map[core.Key]uint64{}
+			rng := rand.New(rand.NewSource(int64(wid)*97 + 5))
+			lo := wid * span
+			for i := 0; i < opsPerWriter; i++ {
+				k := keys[lo+rng.Intn(span)]
+				if rng.Intn(4) == 0 {
+					st.Delete(k)
+					mine[k] = ^uint64(0)
+				} else {
+					v := uint64(wid)<<32 | uint64(i)
+					st.Put(k, v)
+					mine[k] = v
+				}
+			}
+			oracles[wid] = mine
+		}(wid)
+	}
+
+	// Checkpoint the attached directory repeatedly while the writers
+	// run — each call commits every shard at some consistent cut and
+	// truncates its WAL to the writes still pending at that cut.
+	checkpointErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 6; round++ {
+			if err := st.Snapshot(dir); err != nil {
+				checkpointErr <- err
+				return
+			}
+		}
+		checkpointErr <- nil
+	}()
+	wg.Wait()
+	if err := <-checkpointErr; err != nil {
+		t.Fatalf("attached checkpoint: %v", err)
+	}
+
+	for _, mine := range oracles {
+		for k, v := range mine {
+			if v == ^uint64(0) {
+				delete(oracle, k)
+			} else {
+				oracle[k] = v
+			}
+		}
+	}
+	assertStateEqual(t, st, oracle, "attached store after checkpoints")
+	if err := st.PersistErr(); err != nil {
+		t.Fatalf("background persistence failed: %v", err)
+	}
+	st.WaitCompactions()
+	st.Close()
+
+	warm, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("reopen after checkpoint churn: %v", err)
+	}
+	assertStateEqual(t, warm, oracle, "reopened after checkpoint churn")
+	warm.Close()
+}

@@ -120,6 +120,15 @@ type Config struct {
 	// process crash), and SyncWAL provides an explicit storage barrier.
 	SyncWrites bool
 
+	// WriteHook, when non-nil, observes every write applied to the
+	// store — Put, Delete, and Apply batches — called under the owning
+	// shard's write lock after the WAL append and the state publish, so
+	// invocations for one shard arrive in exactly the order the writes
+	// took effect. It must be fast and must not call back into the
+	// store. The replication primary uses it to assign per-shard
+	// sequence numbers and feed its stream log.
+	WriteHook func(shard int, op persist.Op)
+
 	// Metrics, when non-nil, receives the store's observability series
 	// at construction: per-shard run/delta/read-amp gauges and the
 	// compaction counters, all bound as scrape-time funcs over the
@@ -170,6 +179,12 @@ type Store struct {
 	workersWG sync.WaitGroup
 	scratch   sync.Pool // *batchScratch
 	closed    atomic.Bool
+
+	// Replica mode: a read-only store refuses Put/Delete/Replace (each
+	// refusal counted) while Apply — the replication stream's entry
+	// point — still lands batches. Flipped by SetReadOnly at any time.
+	readOnly      atomic.Bool
+	readOnlyDrops atomic.Uint64
 
 	// Background-compaction work queue. One mutex guards the queue,
 	// the per-shard queued flags, the queued-or-running count, and the
@@ -798,6 +813,13 @@ func (st *Store) Delete(key core.Key) {
 }
 
 func (st *Store) write(key core.Key, payload uint64, tomb bool) {
+	if st.readOnly.Load() {
+		// A read-only replica refuses direct writes (the network front
+		// end rejects them earlier with an explicit error; this drop
+		// counter catches in-process callers).
+		st.readOnlyDrops.Add(1)
+		return
+	}
 	i := st.shardOf(key)
 	st.writeMu[i].Lock()
 	// WAL-before-state: the record must be on its way to disk before
@@ -805,8 +827,9 @@ func (st *Store) write(key core.Key, payload uint64, tomb bool) {
 	// acknowledged update. WAL failures (disk full, dead device) are
 	// stashed rather than dropped: the write stays visible in memory
 	// and PersistErr reports the store's durability is degraded.
+	op := persist.Op{Key: key, Val: payload, Tomb: tomb}
 	if st.wals != nil && st.wals[i] != nil {
-		if err := st.wals[i].Append(persist.Op{Key: key, Val: payload, Tomb: tomb}); err != nil {
+		if err := st.wals[i].Append(op); err != nil {
 			st.notePersistErr(err)
 		} else if st.cfg.SyncWrites {
 			if err := st.wals[i].Sync(); err != nil {
@@ -817,12 +840,81 @@ func (st *Store) write(key core.Key, payload uint64, tomb bool) {
 	s := st.shards[i].Load()
 	ns := &shardState{runs: s.runs, runIDs: s.runIDs, del: s.del.with(key, payload, tomb), frozen: s.frozen}
 	st.shards[i].Store(ns)
+	if st.cfg.WriteHook != nil {
+		st.cfg.WriteHook(i, op)
+	}
 	trigger := st.cfg.CompactThreshold > 0 &&
 		ns.del.len() >= st.cfg.CompactThreshold && ns.frozen == nil
 	st.writeMu[i].Unlock()
 	if trigger {
 		st.requestCompact(i)
 	}
+}
+
+// Apply lands a batch of replicated ops on shard i, in op order with
+// last-write-wins semantics — the follower half of the replication
+// stream. It bypasses the read-only gate (it IS the write path of a
+// read-only replica) and fires no WriteHook (a replica does not
+// re-stream what it was streamed). Every op is WAL-appended first on
+// an attached store, then the whole batch is folded into the shard's
+// delta with one copy-on-write publish. Ops must route to shard i.
+func (st *Store) Apply(i int, ops []persist.Op) error {
+	if i < 0 || i >= len(st.shards) {
+		return fmt.Errorf("serve: no shard %d", i)
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	for _, op := range ops {
+		if st.shardOf(op.Key) != i {
+			return fmt.Errorf("serve: apply: key %d routes to shard %d, not %d", op.Key, st.shardOf(op.Key), i)
+		}
+	}
+	st.writeMu[i].Lock()
+	if st.wals != nil && st.wals[i] != nil {
+		for _, op := range ops {
+			if err := st.wals[i].Append(op); err != nil {
+				st.notePersistErr(err)
+				break
+			}
+		}
+		if st.cfg.SyncWrites {
+			if err := st.wals[i].Sync(); err != nil {
+				st.notePersistErr(err)
+			}
+		}
+	}
+	s := st.shards[i].Load()
+	// The batch is newer than everything pending: overlay it on top.
+	ns := &shardState{runs: s.runs, runIDs: s.runIDs, del: s.del.overlay(deltaFromOps(ops)), frozen: s.frozen}
+	st.shards[i].Store(ns)
+	trigger := st.cfg.CompactThreshold > 0 &&
+		ns.del.len() >= st.cfg.CompactThreshold && ns.frozen == nil
+	st.writeMu[i].Unlock()
+	if trigger {
+		st.requestCompact(i)
+	}
+	return nil
+}
+
+// SetReadOnly flips the store's replica gate: while set, Put, Delete,
+// and Replace are refused (counted in ReadOnlyDrops) and Apply remains
+// the only write path. Reads are unaffected.
+func (st *Store) SetReadOnly(v bool) { st.readOnly.Store(v) }
+
+// ReadOnly reports whether the store currently refuses direct writes.
+func (st *Store) ReadOnly() bool { return st.readOnly.Load() }
+
+// ReadOnlyDrops reports the number of direct writes refused by the
+// read-only gate.
+func (st *Store) ReadOnlyDrops() uint64 { return st.readOnlyDrops.Load() }
+
+// Separators returns a copy of the shard boundary keys: seps[i] is the
+// first key owned by shard i (keys below every separator also route to
+// shard 0). The router uses them to partition batches the same way the
+// store does.
+func (st *Store) Separators() []core.Key {
+	return append([]core.Key(nil), st.seps...)
 }
 
 // requestCompact queues shard i for background compaction, at most one
@@ -1349,6 +1441,10 @@ func (s *batchScratch) ensure(n, nShards int) {
 // single-writer path: concurrent writes on one shard serialize,
 // readers continue on the old state until the atomic swap.
 func (st *Store) Replace(i int, keys []core.Key, payloads []uint64) error {
+	if st.readOnly.Load() {
+		st.readOnlyDrops.Add(1)
+		return errors.New("serve: store is read-only")
+	}
 	if i < 0 || i >= len(st.shards) {
 		return fmt.Errorf("serve: no shard %d", i)
 	}
